@@ -1,0 +1,43 @@
+"""Fig. 2 (left): instruction throughput vs warps per SM, by type."""
+
+from repro.arch import GTX285
+from repro.sim.trace import TYPE_NAMES
+
+
+def bench_fig2_left(benchmark, tables, reporter):
+    table = benchmark.pedantic(
+        lambda: tables.instruction, rounds=1, iterations=1
+    )
+    headers = ["warps"] + [f"type {t} GI/s" for t in TYPE_NAMES]
+    rows = []
+    for i, warps in enumerate(table.warp_counts):
+        rows.append(
+            [warps] + [f"{table.throughput[t][i]:.2f}" for t in TYPE_NAMES]
+        )
+    reporter.line("Instruction throughput vs warps/SM (paper Fig. 2, left)")
+    reporter.table(headers, rows)
+    reporter.line()
+    for t in TYPE_NAMES:
+        sat = table.saturation_warps(t, 0.95)
+        reporter.line(
+            f"type {t}: saturates at ~{sat} warps, "
+            f"peak {table.saturated(t):.2f} / theoretical "
+            f"{GTX285.peak_instruction_throughput(t) / 1e9:.2f} GI/s"
+        )
+
+    # Shape assertions from the paper's discussion:
+    # type II saturates around 6 warps ("pipeline stages is around 6")
+    assert table.saturation_warps("II", 0.9) <= 8
+    # more functional units -> more warps needed to saturate
+    assert table.saturation_warps("I", 0.9) >= table.saturation_warps(
+        "IV", 0.9
+    )
+    # saturated MAD throughput lands near the paper's measured 9.33 GI/s
+    assert 8.3 <= table.saturated("II") <= 11.1
+    # every curve is (weakly) increasing up to its knee
+    for t in TYPE_NAMES:
+        series = table.throughput[t]
+        knee = series.index(max(series))
+        assert all(
+            b >= a * 0.97 for a, b in zip(series[:knee], series[1 : knee + 1])
+        )

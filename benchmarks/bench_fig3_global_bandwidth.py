@@ -1,0 +1,61 @@
+"""Fig. 3: global bandwidth vs blocks, block size, transactions/thread."""
+
+from repro.arch import GTX285
+from repro.micro import FIG3_CONFIGS, run_synthetic
+
+#: Block counts along the paper's x axis (1..60, denser at the front
+#: and around the cluster-multiple sawtooth).
+BLOCK_COUNTS = tuple(range(1, 21)) + tuple(range(21, 61, 3)) + (
+    29, 30, 31, 39, 40, 41, 49, 50, 51, 59, 60,
+)
+
+
+def bench_fig3(benchmark, gpu, reporter):
+    counts = tuple(sorted(set(BLOCK_COUNTS)))
+
+    def generate():
+        series = {}
+        for threads, loads in FIG3_CONFIGS:
+            series[(threads, loads)] = [
+                run_synthetic(b, threads, loads, gpu).bandwidth / 1e9
+                for b in counts
+            ]
+        return series
+
+    series = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    headers = ["blocks"] + [f"{t}T,{m}M" for t, m in FIG3_CONFIGS]
+    rows = [
+        [b] + [f"{series[(t, m)][i]:.1f}" for t, m in FIG3_CONFIGS]
+        for i, b in enumerate(counts)
+    ]
+    reporter.line(
+        "Global memory bandwidth (GB/s) vs number of blocks "
+        "(paper Fig. 3; peak 158.98, paper measured ~127)"
+    )
+    reporter.table(headers, rows)
+
+    main = series[(256, 256)]
+    peak_measured = max(max(s) for s in series.values())
+    reporter.line()
+    reporter.line(f"saturated bandwidth: {peak_measured:.1f} GB/s")
+
+    # --- paper shape assertions -------------------------------------
+    by_blocks = dict(zip(counts, main))
+    # sawtooth: a multiple of 10 beats its successor near saturation
+    assert by_blocks[30] > by_blocks[31]
+    assert by_blocks[40] > by_blocks[41]
+    # the dip shrinks as block count grows ("fluctuation becomes smaller")
+    dip30 = (by_blocks[30] - by_blocks[31]) / by_blocks[30]
+    dip50 = (by_blocks[50] - by_blocks[51]) / by_blocks[50]
+    assert dip50 < dip30
+    # measured peak below theoretical (DRAM efficiency)
+    assert peak_measured < GTX285.peak_global_bandwidth / 1e9
+    # low-parallelism configs stay latency-bound ("almost linear")
+    light = series[(512, 2)]
+    assert max(light) < 0.85 * peak_measured
+    assert light[counts.index(20)] > 1.5 * light[counts.index(10)]
+    # more transactions saturate earlier: 256M beats 2M at 10 blocks
+    assert series[(256, 256)][counts.index(10)] > series[(256, 2)][
+        counts.index(10)
+    ]

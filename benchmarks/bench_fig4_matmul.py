@@ -1,0 +1,123 @@
+"""Fig. 4: dense matrix multiply -- counts (a) and time breakdown (b).
+
+Runs the full 1024x1024 experiment for the paper's three sub-matrix
+sizes.  Counts are warp-level half-warp transactions where applicable
+(the paper's Fig. 4a counts warp-level transactions; ours are exactly
+2x for global/shared, see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.apps.matmul import gflops, run_matmul
+
+N = 1024
+
+#: Paper values for reference columns (x1e6 warp-level counts; ms).
+PAPER_4A = {
+    8: (47.02, 33.55, 34.43, 4.75),
+    16: (41.71, 33.55, 34.28, 2.65),
+    32: (38.81, 33.55, 34.17, 1.61),
+}
+PAPER_4B_MEASURED = {8: 6.0, 16: 5.4, 32: 5.6}
+
+
+@pytest.fixture(scope="module")
+def runs(model, gpu):
+    return {
+        tile: run_matmul(N, tile, model=model, gpu=gpu) for tile in (8, 16, 32)
+    }
+
+
+def bench_fig4a_counts(benchmark, runs, reporter):
+    rows = benchmark.pedantic(
+        lambda: [
+            [
+                f"{t}x{t}",
+                f"{runs[t].trace.totals.total_instructions / 1e6:.2f}",
+                f"{runs[t].trace.totals.mad_instructions / 1e6:.2f}",
+                f"{runs[t].trace.totals.shared_transactions / 2e6:.2f}",
+                f"{runs[t].trace.totals.global_transactions[32] / 2e6:.2f}",
+                f"{PAPER_4A[t][0]:.2f}/{PAPER_4A[t][1]:.2f}/"
+                f"{PAPER_4A[t][2]:.2f}/{PAPER_4A[t][3]:.2f}",
+            ]
+            for t in (8, 16, 32)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    reporter.line("Fig. 4(a): dynamic counts, x1e6 warp-level")
+    reporter.table(
+        ["tile", "instr", "MAD", "shared", "global", "paper (I/M/S/G)"],
+        rows,
+    )
+
+    totals = {t: runs[t].trace.totals for t in (8, 16, 32)}
+    # MAD count = matrixSize^3 / warpSize for every tile size.
+    for t in (8, 16, 32):
+        assert totals[t].mad_instructions == pytest.approx(N**3 / 32, rel=0.001)
+    # Total instructions decrease with larger tiles.
+    assert (
+        totals[8].total_instructions
+        > totals[16].total_instructions
+        > totals[32].total_instructions
+    )
+    # Global transactions drop by ~45% then ~40% (paper's reductions).
+    g = {t: totals[t].global_transactions[32] for t in (8, 16, 32)}
+    assert g[16] / g[8] == pytest.approx(0.55, abs=0.06)
+    assert g[32] / g[16] == pytest.approx(0.60, abs=0.06)
+    # Shared transactions roughly constant across tile sizes.
+    s = [totals[t].shared_transactions for t in (8, 16, 32)]
+    assert max(s) / min(s) < 1.05
+
+
+def bench_fig4b_breakdown(benchmark, runs, reporter):
+    def generate():
+        rows = []
+        for t in (8, 16, 32):
+            r = runs[t].report
+            rows.append(
+                [
+                    f"{t}x{t}",
+                    f"{r.component_totals.instruction * 1e3:.2f}",
+                    f"{r.component_totals.shared * 1e3:.2f}",
+                    f"{r.component_totals.global_ * 1e3:.2f}",
+                    r.bottleneck,
+                    f"{runs[t].measured.milliseconds:.2f}",
+                    f"{runs[t].model_error:.0%}",
+                    f"{gflops(N, runs[t].measured.seconds):.0f}",
+                    f"{PAPER_4B_MEASURED[t]:.1f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+    reporter.line("Fig. 4(b): model breakdown vs hardware measurement (ms)")
+    reporter.table(
+        [
+            "tile",
+            "instr",
+            "shared",
+            "global",
+            "bottleneck",
+            "measured",
+            "err",
+            "GFLOPS",
+            "paper meas",
+        ],
+        rows,
+    )
+
+    # Paper narrative: 8x8 and 16x16 instruction-bound, 32x32 shared.
+    assert runs[8].report.bottleneck == "instruction"
+    assert runs[16].report.bottleneck == "instruction"
+    assert runs[32].report.bottleneck == "shared"
+    # 16x16 is the fastest measured configuration.
+    measured = {t: runs[t].measured.seconds for t in (8, 16, 32)}
+    assert measured[16] == min(measured.values())
+    # Model error on the instruction-bound 16x16 within the paper band.
+    assert runs[16].model_error < 0.20
+    # The 32x32 case runs at 6 warps: shared time exceeds 16x16's.
+    assert (
+        runs[32].report.component_totals.shared
+        > 1.2 * runs[16].report.component_totals.shared
+    )

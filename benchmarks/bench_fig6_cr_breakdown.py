@@ -1,0 +1,86 @@
+"""Fig. 6: per-step component breakdown for CR and CR-NBC.
+
+512 systems of 512 equations; forward-reduction stages shown per step
+with their warp parallelism, exactly like the paper's stacked bars.
+"""
+
+import pytest
+
+from repro.apps.tridiag import forward_stage_count, run_cr
+from repro.model import predict_without_bank_conflicts
+
+
+@pytest.fixture(scope="module")
+def runs(model, gpu):
+    return {
+        padded: run_cr(512, 512, padded=padded, model=model, gpu=gpu)
+        for padded in (False, True)
+    }
+
+
+def _step_rows(run):
+    rows = []
+    for stage in run.report.stages[: forward_stage_count(512)]:
+        rows.append(
+            [
+                f"step {stage.index}",
+                stage.active_warps,
+                f"{stage.times.global_ * 1e3:.4f}",
+                f"{stage.times.shared * 1e3:.4f}",
+                f"{stage.times.instruction * 1e3:.4f}",
+                stage.bottleneck,
+            ]
+        )
+    return rows
+
+
+def bench_fig6a_cr(benchmark, runs, reporter):
+    rows = benchmark.pedantic(
+        lambda: _step_rows(runs[False]), rounds=1, iterations=1
+    )
+    reporter.line(
+        "Fig. 6(a): CR forward-reduction breakdown (ms per step, 512x512)"
+    )
+    reporter.table(
+        ["stage", "warps", "global", "shared", "instr", "bottleneck"], rows
+    )
+
+    report = runs[False].report
+    stages = report.stages[: forward_stage_count(512)]
+    # Step 0 (the load) is global-bound.
+    assert stages[0].bottleneck == "global"
+    # Step 1 is instruction-bound (2-way conflicts not yet dominant).
+    assert stages[1].bottleneck == "instruction"
+    # Steps 2+ become shared-bound as conflicts double.
+    assert all(s.bottleneck == "shared" for s in stages[2:6])
+    # Warp parallelism decays 8, 8, 4, 2, 1, 1... (paper's labels).
+    assert [s.active_warps for s in stages[:5]] == [8, 8, 4, 2, 1]
+
+
+def bench_fig6b_cr_nbc(benchmark, runs, reporter):
+    rows = benchmark.pedantic(
+        lambda: _step_rows(runs[True]), rounds=1, iterations=1
+    )
+    reporter.line("Fig. 6(b): CR-NBC forward-reduction breakdown (ms per step)")
+    reporter.table(
+        ["stage", "warps", "global", "shared", "instr", "bottleneck"], rows
+    )
+
+    stages = runs[True].report.stages[: forward_stage_count(512)]
+    # With conflicts removed, every solve step is instruction-bound.
+    assert all(s.bottleneck == "instruction" for s in stages[1:])
+
+
+def bench_fig6_whatif_preview(benchmark, runs, model, reporter):
+    """The Fig. 6(b) prediction made *from the CR trace alone*."""
+    run = runs[False]
+
+    def generate():
+        inputs = model.extract(run.trace, run.launch, run.resources)
+        return predict_without_bank_conflicts(model, inputs)
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    reporter.line("What-if from CR's trace: remove bank conflicts")
+    reporter.line(result.render())
+    # The model predicts a substantial win before CR-NBC is written.
+    assert result.speedup > 1.3

@@ -1,0 +1,69 @@
+"""Fig. 7: sustained shared bandwidth and transactions per CR step."""
+
+import pytest
+
+from repro.apps.tridiag import forward_stage_count, run_cr
+
+#: Paper Fig. 7(a) values (GB/s) for reference.
+PAPER_BANDWIDTH = {"step 1": 1029, "step 2": 723, "step 3": 470, "step 4+": 330}
+
+
+@pytest.fixture(scope="module")
+def cr_run(model, gpu):
+    return run_cr(512, 512, padded=False, model=model, gpu=gpu, measure=False)
+
+
+def bench_fig7a_bandwidth(benchmark, cr_run, tables, reporter):
+    def generate():
+        rows = []
+        for stage in cr_run.report.stages[1 : forward_stage_count(512)]:
+            bw = tables.shared.at(stage.active_warps) / 1e9
+            rows.append([f"step {stage.index}", stage.active_warps, f"{bw:.0f}"])
+        return rows
+
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+    reporter.line(
+        "Fig. 7(a): sustained shared bandwidth per step "
+        "(paper: 1029 / 723 / 470 / 330 GB/s, avg 397)"
+    )
+    reporter.table(["step", "warps", "GB/s"], rows)
+
+    values = [float(r[2]) for r in rows[:4]]
+    # Bandwidth declines monotonically as warps retire.
+    assert values[0] > values[1] > values[2] > values[3]
+    # Step 1 runs near-saturated (paper: 1029/1165 = 88%).
+    assert values[0] / (tables.shared.saturated / 1e9) > 0.75
+
+
+def bench_fig7b_transactions(benchmark, cr_run, reporter):
+    def generate():
+        rows = []
+        for stage in cr_run.report.stages[1 : forward_stage_count(512)]:
+            rows.append(
+                [
+                    f"step {stage.index}",
+                    stage.inputs.shared_transactions,
+                    stage.inputs.shared_transactions_ideal,
+                    f"{stage.inputs.bank_conflict_factor:.1f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+    reporter.line(
+        "Fig. 7(b): shared transactions per step, with vs without "
+        "conflicts (half-warp units; paper used warp units: 139,264 "
+        "constant vs 69,632 halving)"
+    )
+    reporter.table(["step", "with conflicts", "no conflicts", "factor"], rows)
+
+    with_conflicts = [r[1] for r in rows]
+    without = [r[2] for r in rows]
+    # "the number of shared memory transactions remains constant"
+    assert max(with_conflicts[:4]) / min(with_conflicts[:4]) < 1.02
+    # conflict-free counts halve every step
+    for a, b in zip(without[:4], without[1:5]):
+        assert b == pytest.approx(a / 2, rel=0.02)
+    # conflict factor doubles: 2x, 4x, 8x, ~16x
+    factors = [float(r[3][:-1]) for r in rows[:4]]
+    assert factors == pytest.approx([2.0, 4.0, 8.0, 15.9], abs=0.3)

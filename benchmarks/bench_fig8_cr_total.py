@@ -1,0 +1,58 @@
+"""Fig. 8: measured and modelled total time, CR vs CR-NBC."""
+
+import pytest
+
+from repro.apps.tridiag import run_cr
+
+#: Paper values (ms): measured / simulated.
+PAPER = {"CR": (0.757, 0.796), "CR-NBC": (0.468, 0.434)}
+
+
+@pytest.fixture(scope="module")
+def runs(model, gpu):
+    return {
+        padded: run_cr(512, 512, padded=padded, model=model, gpu=gpu)
+        for padded in (False, True)
+    }
+
+
+def bench_fig8(benchmark, runs, reporter):
+    def generate():
+        rows = []
+        for padded, name in ((False, "CR"), (True, "CR-NBC")):
+            run = runs[padded]
+            rows.append(
+                [
+                    name,
+                    f"{run.measured.milliseconds:.3f}",
+                    f"{run.report.predicted_milliseconds:.3f}",
+                    f"{run.model_error:.0%}",
+                    run.report.bottleneck,
+                    f"{PAPER[name][0]:.3f}/{PAPER[name][1]:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+    reporter.line("Fig. 8: CR vs CR-NBC, 512 systems x 512 equations (ms)")
+    reporter.table(
+        ["solver", "measured", "model", "err", "bottleneck", "paper (m/s)"],
+        rows,
+    )
+    cr, nbc = runs[False], runs[True]
+    meas_speedup = cr.measured.seconds / nbc.measured.seconds
+    pred_speedup = (
+        cr.report.predicted_seconds / nbc.report.predicted_seconds
+    )
+    reporter.line()
+    reporter.line(
+        f"padding speedup: measured {meas_speedup:.2f}x, "
+        f"model {pred_speedup:.2f}x (paper: 1.6x)"
+    )
+
+    # Paper narrative: CR dominated by shared memory, CR-NBC by
+    # instruction execution; padding buys ~1.6x.
+    assert cr.report.bottleneck == "shared"
+    assert nbc.report.bottleneck == "instruction"
+    assert 1.35 <= meas_speedup <= 1.9
+    assert pred_speedup == pytest.approx(meas_speedup, rel=0.25)

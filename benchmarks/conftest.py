@@ -1,0 +1,95 @@
+"""Benchmark-harness infrastructure.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index), prints the same rows/series
+the paper reports, and records them under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote concrete numbers.
+
+Calibration is expensive (~40 s), so it is performed once and cached to
+``benchmarks/results/calibration.json`` across benchmark sessions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.hw import HardwareGpu
+from repro.micro import CalibrationTables, calibrate
+from repro.model import PerformanceModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full warp grid for publication-quality curves.
+BENCH_WARP_COUNTS = (
+    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32,
+)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def gpu() -> HardwareGpu:
+    return HardwareGpu()
+
+
+@pytest.fixture(scope="session")
+def tables(gpu, results_dir) -> CalibrationTables:
+    cache = results_dir / "calibration.json"
+    if cache.exists():
+        try:
+            return CalibrationTables.load(cache, gpu=gpu)
+        except Exception:
+            cache.unlink()
+    t = calibrate(gpu, warp_counts=BENCH_WARP_COUNTS, iterations=60)
+    t.save(cache)
+    return t
+
+
+@pytest.fixture(scope="session")
+def model(tables) -> PerformanceModel:
+    return PerformanceModel(tables)
+
+
+class Reporter:
+    """Collects table rows, prints them, and writes them to disk."""
+
+    def __init__(self, name: str, directory: Path) -> None:
+        self.name = name
+        self.path = directory / f"{name}.txt"
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        self.line(
+            "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+        )
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line(
+                "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+            )
+
+    def flush(self) -> str:
+        text = "\n".join([f"== {self.name} ==", *self.lines, ""])
+        self.path.write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture()
+def reporter(request, results_dir):
+    rep = Reporter(request.node.name.replace("bench_", ""), results_dir)
+    yield rep
+    rep.flush()

@@ -1,0 +1,78 @@
+"""Section 5.1 walkthrough: why the 16x16 sub-matrix wins dense MM.
+
+Reproduces the paper's dense matrix multiply study at a laptop-friendly
+size (n=512; run with --full for the paper's 1024): occupancy per tile
+size (Table 2), dynamic counts (Fig. 4a), the model's component
+breakdown versus hardware measurement (Fig. 4b), and the architectural
+what-ifs of Section 5.1.
+
+Run:  python examples/matmul_analysis.py [--full]
+"""
+
+import sys
+
+from repro import HardwareGpu, PerformanceModel
+from repro.apps.matmul import build_matmul_kernel, gflops, run_matmul
+from repro.arch import GTX285, KernelResources, compute_occupancy
+from repro.model import predict_with_max_blocks, predict_with_resources
+
+
+def main() -> None:
+    n = 1024 if "--full" in sys.argv else 512
+    gpu = HardwareGpu()
+    print("Calibrating ...")
+    model = PerformanceModel()
+
+    print(f"\n--- occupancy (paper Table 2), n={n} ---")
+    print("tile     regs  smem(B)  blocks  warps  limiting")
+    for tile in (8, 16, 32):
+        kernel = build_matmul_kernel(n, tile)
+        occ = compute_occupancy(
+            GTX285,
+            KernelResources(64, kernel.num_registers, kernel.shared_memory_bytes),
+        )
+        print(
+            f"{tile:2d}x{tile:<4d} {kernel.num_registers:4d}  "
+            f"{kernel.shared_memory_bytes:6d}  {occ.blocks_per_sm:6d}  "
+            f"{occ.warps_per_sm:5d}  {', '.join(occ.limiters)}"
+        )
+
+    runs = {}
+    print("\n--- counts and breakdown (paper Fig. 4) ---")
+    for tile in (8, 16, 32):
+        runs[tile] = run_matmul(n, tile, model=model, gpu=gpu)
+        totals = runs[tile].trace.totals
+        r = runs[tile].report
+        print(
+            f"{tile:2d}x{tile:<3d} instr {totals.total_instructions/1e6:6.2f}M "
+            f"(MAD {totals.computational_density:4.0%}) | model ms: "
+            f"I {r.component_totals.instruction*1e3:5.2f} "
+            f"S {r.component_totals.shared*1e3:5.2f} "
+            f"G {r.component_totals.global_*1e3:5.2f} "
+            f"-> {r.bottleneck:<11s} | measured "
+            f"{runs[tile].measured.milliseconds:5.2f} ms "
+            f"({gflops(n, runs[tile].measured.seconds):4.0f} GFLOPS)"
+        )
+
+    best = min(runs, key=lambda t: runs[t].measured.seconds)
+    print(f"\nfastest tile: {best}x{best} (paper: 16x16)")
+    print(
+        "the 32x32 tile drops to 6 warps/SM and its bottleneck shifts to"
+        " shared memory -- the paper's central Fig. 4(b) observation."
+    )
+
+    print("\n--- architectural what-ifs (Section 5.1) ---")
+    run16 = runs[16]
+    inputs = model.extract(run16.trace, run16.launch, run16.resources)
+    print(predict_with_max_blocks(model, inputs, run16.resources, 16).render())
+    run32 = runs[32]
+    inputs32 = model.extract(run32.trace, run32.launch, run32.resources)
+    print(
+        predict_with_resources(
+            model, inputs32, run32.resources, register_scale=2, shared_scale=2
+        ).render()
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the modelled GPU's specification and derived peaks.
+``calibrate``
+    Run the microbenchmark suite and save calibration tables as JSON.
+``matmul`` / ``tridiag`` / ``spmv``
+    Run a case study and print the model report next to the hardware
+    measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.specs import GTX285
+from repro.sim.trace import TYPE_NAMES
+
+
+def _cmd_info(_args) -> int:
+    spec = GTX285
+    print(f"device               : {spec.name}")
+    print(f"SMs                  : {spec.num_sms} @ {spec.core_clock_ghz} GHz")
+    print(
+        f"memory clusters      : {spec.memory.num_clusters} "
+        f"({spec.sms_per_cluster} SMs each)"
+    )
+    print(f"registers / SM       : {spec.sm.registers}")
+    print(f"shared memory / SM   : {spec.sm.shared_memory_bytes} B "
+          f"({spec.sm.shared_memory_banks} banks)")
+    print(
+        "ceilings             : "
+        f"{spec.sm.max_threads_per_block} threads/block, "
+        f"{spec.sm.max_blocks} blocks, {spec.sm.max_warps} warps"
+    )
+    for name in TYPE_NAMES:
+        print(
+            f"type {name:<3s} peak        : "
+            f"{spec.peak_instruction_throughput(name) / 1e9:6.2f} GI/s "
+            f"({spec.units_for_type(name)} units)"
+        )
+    print(f"peak single precision: {spec.peak_gflops:.1f} GFLOPS")
+    print(f"peak shared bandwidth: {spec.peak_shared_bandwidth / 1e9:.1f} GB/s")
+    print(f"peak global bandwidth: {spec.peak_global_bandwidth / 1e9:.1f} GB/s")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.micro import calibrate
+
+    print("running microbenchmarks ...", file=sys.stderr)
+    tables = calibrate(iterations=args.iterations)
+    tables.save(args.output)
+    print(f"calibration saved to {args.output}")
+    return 0
+
+
+def _make_model(args):
+    from repro.hw import HardwareGpu
+    from repro.micro import CalibrationTables, calibrate
+    from repro.model import PerformanceModel
+
+    gpu = HardwareGpu()
+    if args.calibration:
+        tables = CalibrationTables.load(args.calibration, gpu=gpu)
+    else:
+        print("calibrating (use --calibration FILE to reuse) ...", file=sys.stderr)
+        tables = calibrate(gpu)
+    return gpu, PerformanceModel(tables)
+
+
+def _print_run(run) -> None:
+    print(run.report.render())
+    print(f"hardware measurement : {run.measured.milliseconds:.4f} ms")
+    print(f"model error          : {run.model_error:.1%}")
+
+
+def _cmd_matmul(args) -> int:
+    from repro.apps.matmul import gflops, run_matmul
+
+    gpu, model = _make_model(args)
+    run = run_matmul(args.n, args.tile, model=model, gpu=gpu)
+    print(f"\nSGEMM {args.n}x{args.n}, {args.tile}x{args.tile} sub-matrices")
+    _print_run(run)
+    print(f"effective            : {gflops(args.n, run.measured.seconds):.0f} GFLOPS")
+    return 0
+
+
+def _cmd_tridiag(args) -> int:
+    from repro.apps.tridiag import run_cr
+
+    gpu, model = _make_model(args)
+    run = run_cr(args.n, args.systems, padded=args.padded, model=model, gpu=gpu)
+    name = "CR-NBC" if args.padded else "CR"
+    print(f"\n{name}: {args.systems} systems x {args.n} equations")
+    _print_run(run)
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from repro.apps.matrices import qcd_like
+    from repro.apps.spmv import gflops, run_spmv
+
+    gpu, model = _make_model(args)
+    matrix = qcd_like()
+    run = run_spmv(
+        matrix, args.format, model=model, gpu=gpu, use_cache=args.cache
+    )
+    print(f"\nSpMV {args.format} on synthetic QCD ({matrix.n}^2)")
+    _print_run(run)
+    print(f"effective            : {gflops(matrix, run.measured.seconds):.1f} GFLOPS")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantitative GPU performance analysis (HPCA 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the modelled GPU specification")
+
+    cal = sub.add_parser("calibrate", help="run microbenchmarks, save JSON")
+    cal.add_argument("-o", "--output", default="calibration.json")
+    cal.add_argument("--iterations", type=int, default=60)
+
+    for name in ("matmul", "tridiag", "spmv"):
+        case = sub.add_parser(name, help=f"run the {name} case study")
+        case.add_argument(
+            "--calibration", help="reuse a saved calibration JSON"
+        )
+        if name == "matmul":
+            case.add_argument("--n", type=int, default=512)
+            case.add_argument("--tile", type=int, default=16, choices=(8, 16, 32))
+        elif name == "tridiag":
+            case.add_argument("--n", type=int, default=512)
+            case.add_argument("--systems", type=int, default=512)
+            case.add_argument("--padded", action="store_true")
+        else:
+            case.add_argument(
+                "--format",
+                default="bell_imiv",
+                choices=("ell", "bell_im", "bell_imiv"),
+            )
+            case.add_argument("--cache", action="store_true")
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "calibrate": _cmd_calibrate,
+    "matmul": _cmd_matmul,
+    "tridiag": _cmd_tridiag,
+    "spmv": _cmd_spmv,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

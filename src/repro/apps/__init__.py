@@ -1,0 +1,51 @@
+"""Case-study applications: dense MM, tridiagonal solver, SpMV."""
+
+from repro.apps.common import AppRun, execute, kernel_resources
+from repro.apps.matmul import (
+    TILE_SIZES,
+    build_matmul_kernel,
+    run_matmul,
+    validate_matmul,
+)
+from repro.apps.matrices import BlockSparseMatrix, qcd_like, random_blocked
+from repro.apps.spmv import (
+    FORMATS,
+    GRANULARITIES,
+    build_bell_kernel,
+    build_ell_kernel,
+    bytes_per_entry,
+    run_spmv,
+    validate_spmv,
+)
+from repro.apps.tridiag import (
+    build_cr_kernel,
+    forward_stage_count,
+    run_cr,
+    thomas_solve,
+    validate_cr,
+)
+
+__all__ = [
+    "AppRun",
+    "BlockSparseMatrix",
+    "FORMATS",
+    "GRANULARITIES",
+    "TILE_SIZES",
+    "build_bell_kernel",
+    "build_cr_kernel",
+    "build_ell_kernel",
+    "build_matmul_kernel",
+    "bytes_per_entry",
+    "execute",
+    "forward_stage_count",
+    "kernel_resources",
+    "qcd_like",
+    "random_blocked",
+    "run_cr",
+    "run_matmul",
+    "run_spmv",
+    "thomas_solve",
+    "validate_cr",
+    "validate_matmul",
+    "validate_spmv",
+]

@@ -1,0 +1,107 @@
+"""Shared harness for the case-study applications.
+
+Each case study runs through the same pipeline the paper's Fig. 1 shows:
+functional simulation (dynamic statistics + warp streams), occupancy,
+the performance model's analysis, and a hardware "measurement" on the
+timing simulator.  :class:`AppRun` bundles the artifacts so examples,
+tests and benchmarks can compare model predictions with measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.occupancy import KernelResources, Occupancy, compute_occupancy
+from repro.arch.specs import GpuSpec, GTX285
+from repro.hw.gpu import HardwareGpu, MeasuredRun
+from repro.isa.program import Kernel
+from repro.model.performance import PerformanceModel
+from repro.model.report import PerformanceReport
+from repro.sim.functional import FunctionalSimulator, LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.sim.trace import KernelTrace
+
+
+@dataclass
+class AppRun:
+    """One analyzed-and-measured kernel launch."""
+
+    name: str
+    kernel: Kernel
+    launch: LaunchConfig
+    resources: KernelResources
+    occupancy: Occupancy
+    trace: KernelTrace
+    report: PerformanceReport | None = None
+    measured: MeasuredRun | None = None
+
+    @property
+    def predicted_seconds(self) -> float:
+        return self.report.predicted_seconds if self.report else float("nan")
+
+    @property
+    def measured_seconds(self) -> float:
+        return self.measured.seconds if self.measured else float("nan")
+
+    @property
+    def model_error(self) -> float:
+        """|predicted - measured| / measured (the paper's 5-15% metric)."""
+        return self.report.error_against(self.measured.seconds)
+
+
+def kernel_resources(kernel: Kernel, launch: LaunchConfig) -> KernelResources:
+    """Resource declaration the occupancy calculator consumes."""
+    return KernelResources(
+        threads_per_block=launch.block_threads,
+        registers_per_thread=kernel.num_registers,
+        shared_memory_per_block=kernel.shared_memory_bytes,
+    )
+
+
+def execute(
+    name: str,
+    kernel: Kernel,
+    gmem: GlobalMemory,
+    launch: LaunchConfig,
+    sample_blocks: list[tuple[int, int]] | None = None,
+    model: PerformanceModel | None = None,
+    gpu: HardwareGpu | None = None,
+    measure: bool = True,
+    spec: GpuSpec = GTX285,
+    use_cache: bool = False,
+) -> AppRun:
+    """Run the full workflow on one kernel launch.
+
+    ``sample_blocks=None`` simulates the whole grid (exact);
+    a sample list scales statistics to the grid (representative mode).
+    """
+    simulator = FunctionalSimulator(kernel, gmem=gmem, spec=spec)
+    trace = simulator.run(launch, blocks=sample_blocks)
+    resources = kernel_resources(kernel, launch)
+    occupancy = compute_occupancy(spec, resources)
+
+    report = None
+    if model is not None:
+        report = model.analyze(trace, launch, resources)
+
+    measured = None
+    if measure:
+        gpu = gpu or HardwareGpu(spec=spec)
+        measured = gpu.measure(
+            trace.block_traces if len(trace.block_traces) > 1
+            else trace.block_traces[0],
+            num_blocks=launch.num_blocks,
+            resident_per_sm=occupancy.blocks_per_sm,
+            use_cache=use_cache,
+        )
+
+    return AppRun(
+        name=name,
+        kernel=kernel,
+        launch=launch,
+        resources=resources,
+        occupancy=occupancy,
+        trace=trace,
+        report=report,
+        measured=measured,
+    )

@@ -1,0 +1,29 @@
+"""GPU architecture descriptions and the occupancy calculator."""
+
+from repro.arch.occupancy import (
+    KernelResources,
+    Occupancy,
+    compute_occupancy,
+    warps_per_sm,
+)
+from repro.arch.specs import (
+    GTX285,
+    HALF_WARP,
+    WARP_SIZE,
+    GpuSpec,
+    MemorySpec,
+    SmSpec,
+)
+
+__all__ = [
+    "GTX285",
+    "HALF_WARP",
+    "WARP_SIZE",
+    "GpuSpec",
+    "MemorySpec",
+    "SmSpec",
+    "KernelResources",
+    "Occupancy",
+    "compute_occupancy",
+    "warps_per_sm",
+]

@@ -1,0 +1,127 @@
+"""Occupancy calculation: how many blocks and warps fit on one SM.
+
+This reimplements the resource-ceiling arithmetic the paper uses in
+Table 2.  A kernel declares per-thread register usage, per-block shared
+memory, and block size; the SM imposes five ceilings (registers, shared
+memory, threads per block, resident blocks, resident warps).  The number
+of resident blocks is the minimum over the ceilings, e.g. for the 32x32
+matrix-multiply tile: ``min(4, 3, 8) = 3`` blocks = 6 warps.
+
+The paper uses plain floor division (no allocation-granularity rounding),
+which this module follows; see DESIGN.md for the one Table 2 entry where
+the paper's register ceiling differs (the binding minimum is unaffected).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import WARP_SIZE, GpuSpec
+from repro.errors import OccupancyError
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Static per-kernel resource demands (what NVCC would report)."""
+
+    threads_per_block: int
+    registers_per_thread: int = 0
+    shared_memory_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block <= 0:
+            raise OccupancyError("threads_per_block must be positive")
+        if self.registers_per_thread < 0:
+            raise OccupancyError("registers_per_thread must be non-negative")
+        if self.shared_memory_per_block < 0:
+            raise OccupancyError("shared_memory_per_block must be non-negative")
+
+    @property
+    def warps_per_block(self) -> int:
+        return math.ceil(self.threads_per_block / WARP_SIZE)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resident blocks/warps per SM and which ceilings were binding."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    blocks_by_registers: int
+    blocks_by_shared_memory: int
+    blocks_by_warps: int
+    blocks_by_block_limit: int
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    @property
+    def threads_per_sm(self) -> int:
+        return self.warps_per_sm * WARP_SIZE
+
+    @property
+    def limiters(self) -> tuple[str, ...]:
+        """Names of the ceilings equal to the binding minimum."""
+        ceilings = {
+            "registers": self.blocks_by_registers,
+            "shared_memory": self.blocks_by_shared_memory,
+            "warps": self.blocks_by_warps,
+            "block_limit": self.blocks_by_block_limit,
+        }
+        return tuple(
+            name for name, value in ceilings.items() if value == self.blocks_per_sm
+        )
+
+
+def compute_occupancy(spec: GpuSpec, resources: KernelResources) -> Occupancy:
+    """Compute resident blocks per SM for a kernel on a GPU.
+
+    Raises :class:`OccupancyError` if the kernel cannot launch at all
+    (e.g. one block already exceeds the register file).
+    """
+    sm = spec.sm
+    if resources.threads_per_block > sm.max_threads_per_block:
+        raise OccupancyError(
+            f"block of {resources.threads_per_block} threads exceeds the "
+            f"{sm.max_threads_per_block}-thread block limit"
+        )
+
+    regs_per_block = resources.registers_per_thread * resources.threads_per_block
+    if regs_per_block > sm.registers:
+        raise OccupancyError(
+            f"one block needs {regs_per_block} registers; the SM has {sm.registers}"
+        )
+    if resources.shared_memory_per_block > sm.shared_memory_bytes:
+        raise OccupancyError(
+            f"one block needs {resources.shared_memory_per_block} B of shared "
+            f"memory; the SM has {sm.shared_memory_bytes} B"
+        )
+
+    no_limit = sm.max_blocks  # a ceiling that never binds below the block limit
+    by_registers = (
+        sm.registers // regs_per_block if regs_per_block else no_limit
+    )
+    by_shared = (
+        sm.shared_memory_bytes // resources.shared_memory_per_block
+        if resources.shared_memory_per_block
+        else no_limit
+    )
+    by_warps = sm.max_warps // resources.warps_per_block
+    blocks = min(by_registers, by_shared, by_warps, sm.max_blocks)
+    if blocks < 1:
+        raise OccupancyError("kernel resources allow zero resident blocks")
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_block=resources.warps_per_block,
+        blocks_by_registers=by_registers,
+        blocks_by_shared_memory=by_shared,
+        blocks_by_warps=by_warps,
+        blocks_by_block_limit=sm.max_blocks,
+    )
+
+
+def warps_per_sm(spec: GpuSpec, resources: KernelResources) -> int:
+    """Convenience wrapper: resident warps per SM for a kernel."""
+    return compute_occupancy(spec, resources).warps_per_sm

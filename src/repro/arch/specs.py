@@ -1,0 +1,193 @@
+"""GPU architecture specifications.
+
+The paper targets the NVIDIA GeForce GTX 285 (GT200).  Everything the
+model needs to know about the chip lives in :class:`GpuSpec`:
+clock rates, per-SM resource ceilings, the shared-memory bank layout,
+and the global-memory cluster organization.  Derived quantities use the
+paper's own formulas (Section 4):
+
+* peak instruction throughput of an instruction with ``u`` functional
+  units per SM: ``u * core_clock * num_sms / warp_size`` warp-instructions
+  per second (e.g. MAD: ``8 * 1.48e9 * 30 / 32 = 11.1`` Giga-instr/s);
+* peak single-precision rate: ``mad_throughput * warp_size * 2``
+  (= 710.4 GFLOPS);
+* peak shared-memory bandwidth:
+  ``sps_per_sm * num_sms * core_clock * 4 B`` (= 1420.8 GB/s);
+* peak global-memory bandwidth: ``memory_clock * bus_width / 8``
+  (= 158.98 GB/s, quoted as 160 GB/s in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SpecError
+
+#: Number of threads that execute in lockstep (a warp).
+WARP_SIZE = 32
+
+#: Number of threads in a memory-transaction issue group (half-warp).
+HALF_WARP = 16
+
+
+@dataclass(frozen=True)
+class SmSpec:
+    """Per-streaming-multiprocessor resources and ceilings."""
+
+    num_sps: int = 8
+    registers: int = 16384
+    shared_memory_bytes: int = 16384
+    shared_memory_banks: int = 16
+    bank_width_bytes: int = 4
+    max_threads_per_block: int = 512
+    max_blocks: int = 8
+    max_warps: int = 32
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_sps",
+            "registers",
+            "shared_memory_bytes",
+            "shared_memory_banks",
+            "bank_width_bytes",
+            "max_threads_per_block",
+            "max_blocks",
+            "max_warps",
+        ):
+            if getattr(self, name) <= 0:
+                raise SpecError(f"SmSpec.{name} must be positive")
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum resident threads per SM (warp ceiling times warp size)."""
+        return self.max_warps * WARP_SIZE
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Off-chip (global) memory system parameters."""
+
+    clock_ghz: float = 2.484
+    bus_width_bits: int = 512
+    num_clusters: int = 10
+    min_segment_bytes: int = 32
+    max_segment_bytes: int = 128
+    dram_efficiency: float = 0.88
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise SpecError("MemorySpec.clock_ghz must be positive")
+        if self.bus_width_bits % 8:
+            raise SpecError("MemorySpec.bus_width_bits must be a byte multiple")
+        if self.num_clusters <= 0:
+            raise SpecError("MemorySpec.num_clusters must be positive")
+        if not 0.0 < self.dram_efficiency <= 1.0:
+            raise SpecError("MemorySpec.dram_efficiency must be in (0, 1]")
+        if self.min_segment_bytes > self.max_segment_bytes:
+            raise SpecError("min_segment_bytes exceeds max_segment_bytes")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Theoretical peak global bandwidth in bytes per second."""
+        return self.clock_ghz * 1e9 * self.bus_width_bits / 8
+
+
+#: Functional-unit counts per instruction type (paper Table 1).
+DEFAULT_FUNCTIONAL_UNITS = {
+    "I": 10,  # mul: 8 FPU multipliers + 2 in the SFUs
+    "II": 8,  # mov, add, mad
+    "III": 4,  # sin, cos, log, rcp (special function units)
+    "IV": 1,  # double-precision floating point
+}
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A whole GPU: SM array, clocks, and the memory system."""
+
+    name: str = "GeForce GTX 285"
+    num_sms: int = 30
+    core_clock_ghz: float = 1.48
+    sm: SmSpec = field(default_factory=SmSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    functional_units: dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_FUNCTIONAL_UNITS)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise SpecError("GpuSpec.num_sms must be positive")
+        if self.core_clock_ghz <= 0:
+            raise SpecError("GpuSpec.core_clock_ghz must be positive")
+        if self.num_sms % self.memory.num_clusters:
+            raise SpecError(
+                "num_sms must divide evenly into memory clusters: "
+                f"{self.num_sms} SMs, {self.memory.num_clusters} clusters"
+            )
+        missing = {"I", "II", "III", "IV"} - set(self.functional_units)
+        if missing:
+            raise SpecError(f"functional_units missing types: {sorted(missing)}")
+
+    @property
+    def sms_per_cluster(self) -> int:
+        """SMs sharing one global-memory pipeline (3 on the GTX 285)."""
+        return self.num_sms // self.memory.num_clusters
+
+    @property
+    def core_clock_hz(self) -> float:
+        return self.core_clock_ghz * 1e9
+
+    def units_for_type(self, instr_type: str) -> int:
+        """Functional units per SM for an instruction type ('I'..'IV')."""
+        try:
+            return self.functional_units[instr_type]
+        except KeyError:
+            raise SpecError(f"unknown instruction type: {instr_type!r}") from None
+
+    def peak_instruction_throughput(self, instr_type: str) -> float:
+        """Peak warp-instructions/second for a type (paper Section 4.1)."""
+        units = self.units_for_type(instr_type)
+        return units * self.core_clock_hz * self.num_sms / WARP_SIZE
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOPS via MAD (2 flops per lane)."""
+        mad = self.peak_instruction_throughput("II")
+        return mad * WARP_SIZE * 2 / 1e9
+
+    @property
+    def peak_shared_bandwidth(self) -> float:
+        """Peak shared-memory bandwidth in bytes/second (paper Section 4.2)."""
+        return (
+            self.sm.num_sps
+            * self.num_sms
+            * self.core_clock_hz
+            * self.sm.bank_width_bytes
+        )
+
+    @property
+    def peak_global_bandwidth(self) -> float:
+        """Peak global-memory bandwidth in bytes/second."""
+        return self.memory.peak_bandwidth
+
+    @property
+    def shared_bytes_per_cycle_per_sm(self) -> float:
+        """Shared-memory bytes one SM moves per core cycle when saturated."""
+        return self.sm.num_sps * self.sm.bank_width_bytes
+
+    @property
+    def global_bytes_per_cycle(self) -> float:
+        """Global-memory bytes per core cycle across the whole chip."""
+        return self.peak_global_bandwidth / self.core_clock_hz
+
+    def with_sm(self, **changes) -> "GpuSpec":
+        """Return a copy with modified SM parameters (what-if studies)."""
+        return replace(self, sm=replace(self.sm, **changes))
+
+    def with_memory(self, **changes) -> "GpuSpec":
+        """Return a copy with modified memory parameters (what-if studies)."""
+        return replace(self, memory=replace(self.memory, **changes))
+
+
+#: The paper's target device.
+GTX285 = GpuSpec()

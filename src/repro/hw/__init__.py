@@ -1,0 +1,25 @@
+"""Cycle-approximate hardware timing simulator (the silicon stand-in)."""
+
+from repro.hw.cluster import ClusterResult, ClusterSimulator
+from repro.hw.config import (
+    DEFAULT_HW,
+    HwConfig,
+    cluster_bytes_per_cycle,
+    deterministic_jitter,
+    issue_intervals,
+)
+from repro.hw.gpu import HardwareGpu, MeasuredRun
+from repro.hw.texcache import TextureCache
+
+__all__ = [
+    "ClusterResult",
+    "ClusterSimulator",
+    "DEFAULT_HW",
+    "HardwareGpu",
+    "HwConfig",
+    "MeasuredRun",
+    "TextureCache",
+    "cluster_bytes_per_cycle",
+    "deterministic_jitter",
+    "issue_intervals",
+]

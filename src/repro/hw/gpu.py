@@ -1,0 +1,238 @@
+"""Whole-GPU measurement: schedule a grid of blocks and time it.
+
+This is the reproduction's "run it on the GTX 285" entry point.  Blocks
+are dispatched round-robin across the 10 clusters (then across the 3 SMs
+inside a cluster), which is what produces the paper's period-10 sawtooth
+in global bandwidth (Fig. 3).  For very large homogeneous grids the
+steady state is extrapolated from two simulated waves -- block waves are
+statistically identical, so per-wave time converges immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec, GTX285
+from repro.errors import HardwareModelError
+from repro.hw.cluster import BlockWork, ClusterResult, ClusterSimulator
+from repro.hw.config import HwConfig
+from repro.sim.trace import BlockTrace
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """A hardware measurement of one kernel launch."""
+
+    cycles: float
+    seconds: float
+    cluster_cycles: tuple[float, ...]
+    events: int
+    cache_hit_rate: float = 0.0
+    extrapolated: bool = False
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class HardwareGpu:
+    """The silicon stand-in: times kernel launches from warp traces."""
+
+    def __init__(
+        self, spec: GpuSpec = GTX285, config: HwConfig | None = None
+    ) -> None:
+        self.spec = spec
+        self.config = config or HwConfig()
+
+    # ------------------------------------------------------------------
+    # microbenchmark-style measurement: identical SMs, one cluster
+    # ------------------------------------------------------------------
+    def measure_uniform_sm(
+        self,
+        sm_blocks: list[BlockWork],
+        resident_per_sm: int,
+        use_cache: bool = False,
+    ) -> ClusterResult:
+        """Time one cluster whose SMs all run the same block queue."""
+        cluster = ClusterSimulator(self.spec, self.config, use_cache)
+        queues = [list(sm_blocks) for _ in range(self.spec.sms_per_cluster)]
+        return cluster.run(queues, resident_per_sm)
+
+    # ------------------------------------------------------------------
+    # full launches
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        traces: list[BlockTrace] | BlockTrace,
+        num_blocks: int,
+        resident_per_sm: int,
+        use_cache: bool = False,
+        wave_extrapolation: bool = True,
+        sim_clusters: list[int] | None = None,
+    ) -> MeasuredRun:
+        """Time a launch of ``num_blocks`` blocks.
+
+        ``traces`` supplies per-block warp streams; a single trace means
+        a homogeneous grid, a list is cycled across block indices (the
+        representative-sample methodology).
+        """
+        if num_blocks <= 0:
+            raise HardwareModelError("num_blocks must be positive")
+        if isinstance(traces, BlockTrace):
+            traces = [traces]
+        if not traces:
+            raise HardwareModelError("at least one block trace is required")
+        works = [t.warp_streams for t in traces]
+        homogeneous = len(works) == 1
+
+        num_clusters = self.spec.memory.num_clusters
+        sms_per_cluster = self.spec.sms_per_cluster
+        counts = self._block_counts(num_blocks, num_clusters, sms_per_cluster)
+
+        if homogeneous and wave_extrapolation:
+            run = self._measure_homogeneous(
+                works[0], counts, resident_per_sm, use_cache
+            )
+            if run is not None:
+                return run
+
+        chosen = sim_clusters
+        if chosen is None:
+            if homogeneous or num_blocks <= 30 * num_clusters:
+                chosen = list(range(num_clusters))
+            else:
+                # Cycled samples make clusters statistically identical;
+                # the extremes of the block distribution bound the time.
+                chosen = [0, num_clusters - 1]
+
+        cluster_cycles: list[float] = []
+        events = 0
+        hits = misses = 0
+        signature_cache: dict[tuple, ClusterResult] = {}
+        for c in range(num_clusters):
+            if c not in chosen:
+                continue
+            queues = self._cluster_queues(c, counts[c], works, num_clusters)
+            if homogeneous:
+                signature = tuple(len(q) for q in queues)
+                result = signature_cache.get(signature)
+                if result is None:
+                    result = ClusterSimulator(
+                        self.spec, self.config, use_cache
+                    ).run(queues, resident_per_sm)
+                    signature_cache[signature] = result
+            else:
+                result = ClusterSimulator(self.spec, self.config, use_cache).run(
+                    queues, resident_per_sm
+                )
+            cluster_cycles.append(result.cycles)
+            events += result.events
+            hits += result.cache_hits
+            misses += result.cache_misses
+
+        cycles = max(cluster_cycles)
+        return MeasuredRun(
+            cycles=cycles,
+            seconds=cycles / self.spec.core_clock_hz,
+            cluster_cycles=tuple(cluster_cycles),
+            events=events,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _block_counts(
+        num_blocks: int, num_clusters: int, sms_per_cluster: int
+    ) -> list[list[int]]:
+        """counts[cluster][sm] = number of blocks assigned there.
+
+        Block ``b`` goes to cluster ``b % num_clusters`` and, within it,
+        to SM ``(b // num_clusters) % sms_per_cluster``.
+        """
+        counts = [[0] * sms_per_cluster for _ in range(num_clusters)]
+        for cluster in range(num_clusters):
+            assigned = (num_blocks - cluster + num_clusters - 1) // num_clusters
+            for sm in range(sms_per_cluster):
+                counts[cluster][sm] = (
+                    assigned - sm + sms_per_cluster - 1
+                ) // sms_per_cluster
+        return counts
+
+    @staticmethod
+    def _cluster_queues(
+        cluster: int,
+        counts: list[int],
+        works: list[BlockWork],
+        num_clusters: int,
+    ) -> list[list[BlockWork]]:
+        """Build per-SM block queues, cycling the sample traces."""
+        queues: list[list[BlockWork]] = []
+        sms_per_cluster = len(counts)
+        for sm, count in enumerate(counts):
+            queue = []
+            for k in range(count):
+                block_index = cluster + num_clusters * (sm + sms_per_cluster * k)
+                queue.append(works[block_index % len(works)])
+            queues.append(queue)
+        return queues
+
+    def _measure_homogeneous(
+        self,
+        work: BlockWork,
+        counts: list[list[int]],
+        resident_per_sm: int,
+        use_cache: bool,
+    ) -> MeasuredRun | None:
+        """Steady-state wave extrapolation for big homogeneous grids.
+
+        Simulates one and two full waves; each further wave adds the
+        (two-wave minus one-wave) delta.  Requires every SM to have at
+        least three full waves queued, otherwise exact simulation is
+        cheap enough and ``None`` is returned.
+        """
+        resident = resident_per_sm
+        min_count = min(min(c) for c in counts)
+        if min_count < 3 * resident:
+            return None
+
+        def uniform_time(blocks_per_sm: int) -> ClusterResult:
+            queues = [
+                [work] * blocks_per_sm
+                for _ in range(self.spec.sms_per_cluster)
+            ]
+            return ClusterSimulator(self.spec, self.config, use_cache).run(
+                queues, resident
+            )
+
+        one = uniform_time(resident)
+        two = uniform_time(2 * resident)
+        delta = two.cycles - one.cycles
+
+        cluster_cycles = []
+        events = one.events + two.events
+        tail_cache: dict[tuple, float] = {}
+        for per_sm in counts:
+            full_waves = min(count // resident for count in per_sm)
+            skip = max(full_waves - 2, 0)
+            tail_counts = tuple(count - skip * resident for count in per_sm)
+            tail_time = tail_cache.get(tail_counts)
+            if tail_time is None:
+                queues = [[work] * count for count in tail_counts]
+                result = ClusterSimulator(self.spec, self.config, use_cache).run(
+                    queues, resident
+                )
+                tail_time = result.cycles
+                events += result.events
+                tail_cache[tail_counts] = tail_time
+            cluster_cycles.append(skip * delta + tail_time)
+
+        cycles = max(cluster_cycles)
+        return MeasuredRun(
+            cycles=cycles,
+            seconds=cycles / self.spec.core_clock_hz,
+            cluster_cycles=tuple(cluster_cycles),
+            events=events,
+            extrapolated=True,
+        )

@@ -1,0 +1,58 @@
+"""Native GPU instruction set: opcodes, instructions, kernels, tools."""
+
+from repro.isa.assembler import format_kernel, parse_kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import (
+    CTAID_X,
+    CTAID_Y,
+    NCTAID_X,
+    NCTAID_Y,
+    NTID,
+    TID,
+    Imm,
+    Instruction,
+    MemRef,
+    Operand,
+    Pred,
+    Reg,
+    Special,
+)
+from repro.isa.opcodes import (
+    COMPARISONS,
+    MNEMONICS,
+    TABLE1_EXAMPLES,
+    Opcode,
+    OpKind,
+    opcode_from_mnemonic,
+)
+from repro.isa.program import ABI_SHARED_OVERHEAD, Kernel
+from repro.isa.validate import kernel_register_count, validate_kernel
+
+__all__ = [
+    "ABI_SHARED_OVERHEAD",
+    "COMPARISONS",
+    "CTAID_X",
+    "CTAID_Y",
+    "Imm",
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "MNEMONICS",
+    "MemRef",
+    "NCTAID_X",
+    "NCTAID_Y",
+    "NTID",
+    "Opcode",
+    "OpKind",
+    "Operand",
+    "Pred",
+    "Reg",
+    "Special",
+    "TABLE1_EXAMPLES",
+    "TID",
+    "format_kernel",
+    "kernel_register_count",
+    "opcode_from_mnemonic",
+    "parse_kernel",
+    "validate_kernel",
+]

@@ -1,0 +1,263 @@
+"""Instruction and operand representations for the native ISA.
+
+Operands model the GT200 register file closely enough for the paper's
+purposes: general registers, predicate registers, immediates, read-only
+special registers (thread/block indices), and memory references.  As on
+real GT200 hardware, arithmetic instructions may take one shared-memory
+operand directly (``fmad r4, r2, s[0x40], r4``) -- this is what makes
+dense matrix multiply's shared-transaction count track its MAD count
+(paper Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.isa.opcodes import COMPARISONS, Opcode, OpKind
+
+
+@dataclass(frozen=True)
+class Reg:
+    """General-purpose register ``r<index>`` (32-bit on hardware)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise IsaError("register index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """Predicate register ``p<index>``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise IsaError("predicate index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"p{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate constant (int or float)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+_SPECIAL_NAMES = (
+    "tid",  # thread index within the block (1-D blocks)
+    "ntid",  # threads per block
+    "ctaid_x",  # block index, x
+    "ctaid_y",  # block index, y
+    "nctaid_x",  # grid size, x
+    "nctaid_y",  # grid size, y
+)
+
+
+@dataclass(frozen=True)
+class Special:
+    """Read-only special register (e.g. ``%tid``, ``%ctaid_x``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _SPECIAL_NAMES:
+            raise IsaError(
+                f"unknown special register {self.name!r}; "
+                f"expected one of {_SPECIAL_NAMES}"
+            )
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+#: Singleton specials for convenient import.
+TID = Special("tid")
+NTID = Special("ntid")
+CTAID_X = Special("ctaid_x")
+CTAID_Y = Special("ctaid_y")
+NCTAID_X = Special("nctaid_x")
+NCTAID_Y = Special("nctaid_y")
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory reference ``space[base + offset]`` in bytes.
+
+    ``space`` is ``'global'`` or ``'shared'``; ``base`` is an optional
+    register; ``offset`` an immediate byte offset.
+    """
+
+    space: str
+    base: Reg | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.space not in ("global", "shared"):
+            raise IsaError(f"unknown memory space {self.space!r}")
+        if self.offset < 0:
+            raise IsaError("memory offset must be non-negative")
+        if self.base is None and self.space == "global":
+            raise IsaError("global memory references require a base register")
+
+    def __str__(self) -> str:
+        prefix = "g" if self.space == "global" else "s"
+        if self.base is None:
+            return f"{prefix}[{hex(self.offset)}]"
+        if self.offset:
+            return f"{prefix}[{self.base}+{hex(self.offset)}]"
+        return f"{prefix}[{self.base}]"
+
+
+Operand = Reg | Pred | Imm | Special | MemRef
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One native instruction.
+
+    ``dst`` is a :class:`Reg` (arithmetic/loads), :class:`Pred` (setp),
+    :class:`MemRef` (stores), or ``None`` (control).  ``guard`` predicates
+    execution: ``(Pred, expected_value)``.  ``target`` names the label of
+    a branch.  ``cmp`` holds the comparison of a setp.
+    """
+
+    opcode: Opcode
+    dst: Reg | Pred | MemRef | None = None
+    srcs: tuple[Operand, ...] = ()
+    guard: tuple[Pred, bool] | None = None
+    target: str | None = None
+    cmp: str | None = None
+
+    def __post_init__(self) -> None:
+        info = self.opcode.info
+        kind = self.opcode.kind
+        if kind == OpKind.BRANCH:
+            if not self.target:
+                raise IsaError("bra requires a target label")
+        elif self.target is not None:
+            raise IsaError(f"{self.opcode.mnemonic} cannot have a branch target")
+        if kind == OpKind.SETP:
+            if self.cmp not in COMPARISONS:
+                raise IsaError(
+                    f"setp comparison must be one of {COMPARISONS}, got {self.cmp!r}"
+                )
+            if not isinstance(self.dst, Pred):
+                raise IsaError("setp must write a predicate register")
+        elif self.cmp is not None:
+            raise IsaError(f"{self.opcode.mnemonic} cannot carry a comparison")
+        if kind in (OpKind.STORE_GLOBAL, OpKind.STORE_SHARED):
+            if not isinstance(self.dst, MemRef):
+                raise IsaError("stores must write a memory reference")
+            expected = "global" if kind == OpKind.STORE_GLOBAL else "shared"
+            if self.dst.space != expected:
+                raise IsaError(f"{self.opcode.mnemonic} must target {expected} memory")
+        elif info.writes_register and kind != OpKind.SETP:
+            if not isinstance(self.dst, Reg):
+                raise IsaError(f"{self.opcode.mnemonic} must write a register")
+        if not info.writes_register and kind not in (
+            OpKind.STORE_GLOBAL,
+            OpKind.STORE_SHARED,
+        ):
+            if self.dst is not None:
+                raise IsaError(f"{self.opcode.mnemonic} takes no destination")
+        self._check_srcs()
+
+    def _check_srcs(self) -> None:
+        info = self.opcode.info
+        kind = self.opcode.kind
+        if kind in (OpKind.LOAD_GLOBAL, OpKind.LOAD_SHARED):
+            if len(self.srcs) != 1 or not isinstance(self.srcs[0], MemRef):
+                raise IsaError(f"{self.opcode.mnemonic} takes one memory source")
+            expected = "global" if kind == OpKind.LOAD_GLOBAL else "shared"
+            if self.srcs[0].space != expected:
+                raise IsaError(f"{self.opcode.mnemonic} must read {expected} memory")
+            return
+        if kind in (OpKind.STORE_GLOBAL, OpKind.STORE_SHARED):
+            if len(self.srcs) != 1:
+                raise IsaError(f"{self.opcode.mnemonic} takes one value source")
+            return
+        if kind == OpKind.SELECT:
+            if len(self.srcs) != 3 or not isinstance(self.srcs[0], Pred):
+                raise IsaError("sel takes a predicate and two value sources")
+            return
+        if kind == OpKind.ARITH or kind == OpKind.SETP:
+            if len(self.srcs) != info.num_srcs:
+                raise IsaError(
+                    f"{self.opcode.mnemonic} takes {info.num_srcs} sources, "
+                    f"got {len(self.srcs)}"
+                )
+            shared_operands = [
+                s
+                for s in self.srcs
+                if isinstance(s, MemRef)
+            ]
+            for mem in shared_operands:
+                if mem.space != "shared":
+                    raise IsaError(
+                        "arithmetic may only take shared-memory operands"
+                    )
+            if len(shared_operands) > 1:
+                raise IsaError("at most one shared-memory operand per instruction")
+            return
+        if self.srcs:
+            raise IsaError(f"{self.opcode.mnemonic} takes no sources")
+
+    @property
+    def shared_operand(self) -> MemRef | None:
+        """The shared-memory operand of an arithmetic instruction, if any."""
+        if self.opcode.kind not in (OpKind.ARITH, OpKind.SETP, OpKind.SELECT):
+            return None
+        for src in self.srcs:
+            if isinstance(src, MemRef):
+                return src
+        return None
+
+    def registers_read(self) -> tuple[int, ...]:
+        """Indices of general registers this instruction reads."""
+        regs: list[int] = []
+        for src in self.srcs:
+            if isinstance(src, Reg):
+                regs.append(src.index)
+            elif isinstance(src, MemRef) and src.base is not None:
+                regs.append(src.base.index)
+        if isinstance(self.dst, MemRef) and self.dst.base is not None:
+            regs.append(self.dst.base.index)
+        return tuple(regs)
+
+    def registers_written(self) -> tuple[int, ...]:
+        """Indices of general registers this instruction writes."""
+        if isinstance(self.dst, Reg):
+            return (self.dst.index,)
+        return ()
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            pred, want = self.guard
+            parts.append(f"@{'' if want else '!'}{pred}")
+        name = self.opcode.mnemonic
+        if self.cmp:
+            name = f"{name}.{self.cmp}"
+        parts.append(name)
+        operand_texts: list[str] = []
+        if self.target:
+            operand_texts.append(self.target)
+        if self.dst is not None:
+            operand_texts.append(str(self.dst))
+        operand_texts.extend(str(s) for s in self.srcs)
+        text = " ".join(parts)
+        if operand_texts:
+            text += " " + ", ".join(operand_texts)
+        return text

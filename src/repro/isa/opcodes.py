@@ -1,0 +1,157 @@
+"""Native instruction set: opcodes and their classification.
+
+The paper classifies native (Decuda-level) instructions by how many
+functional units per SM can execute them (Table 1):
+
+==========  ================  ============================
+Type        Functional units  Example instructions
+==========  ================  ============================
+Type I      10                mul
+Type II     8                 mov, add, mad
+Type III    4                 sin, cos, log, rcp
+Type IV     1                 double-precision floating point
+==========  ================  ============================
+
+Memory and control instructions occupy an issue slot like a Type II
+instruction (they are dispatched by the same front end); their *data*
+cost is accounted by the shared/global memory components of the model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+
+class OpKind(enum.Enum):
+    """Broad execution class of an opcode."""
+
+    ARITH = "arith"
+    LOAD_GLOBAL = "load_global"
+    STORE_GLOBAL = "store_global"
+    LOAD_SHARED = "load_shared"
+    STORE_SHARED = "store_shared"
+    BRANCH = "branch"
+    BARRIER = "barrier"
+    EXIT = "exit"
+    NOP = "nop"
+    SETP = "setp"
+    SELECT = "select"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    kind: OpKind
+    instr_type: str  # 'I' | 'II' | 'III' | 'IV' (pipeline cost class)
+    num_srcs: int
+    writes_register: bool = True
+    is_float: bool = True
+
+
+class Opcode(enum.Enum):
+    """Every native instruction the simulator understands."""
+
+    # -- single-precision floating point -------------------------------
+    FMUL = OpInfo("fmul", OpKind.ARITH, "I", 2)
+    FADD = OpInfo("fadd", OpKind.ARITH, "II", 2)
+    FMAD = OpInfo("fmad", OpKind.ARITH, "II", 3)
+    MOV = OpInfo("mov", OpKind.ARITH, "II", 1)
+    FNEG = OpInfo("fneg", OpKind.ARITH, "II", 1)
+    FMIN = OpInfo("fmin", OpKind.ARITH, "II", 2)
+    FMAX = OpInfo("fmax", OpKind.ARITH, "II", 2)
+    # -- transcendental / special-function unit -------------------------
+    RCP = OpInfo("rcp", OpKind.ARITH, "III", 1)
+    SIN = OpInfo("sin", OpKind.ARITH, "III", 1)
+    COS = OpInfo("cos", OpKind.ARITH, "III", 1)
+    LG2 = OpInfo("lg2", OpKind.ARITH, "III", 1)
+    EX2 = OpInfo("ex2", OpKind.ARITH, "III", 1)
+    RSQRT = OpInfo("rsqrt", OpKind.ARITH, "III", 1)
+    # -- double precision ------------------------------------------------
+    DADD = OpInfo("dadd", OpKind.ARITH, "IV", 2)
+    DMUL = OpInfo("dmul", OpKind.ARITH, "IV", 2)
+    DFMA = OpInfo("dfma", OpKind.ARITH, "IV", 3)
+    # -- integer ---------------------------------------------------------
+    IADD = OpInfo("iadd", OpKind.ARITH, "II", 2, is_float=False)
+    ISUB = OpInfo("isub", OpKind.ARITH, "II", 2, is_float=False)
+    IMUL = OpInfo("imul", OpKind.ARITH, "I", 2, is_float=False)
+    IMAD = OpInfo("imad", OpKind.ARITH, "II", 3, is_float=False)
+    ISHL = OpInfo("ishl", OpKind.ARITH, "II", 2, is_float=False)
+    ISHR = OpInfo("ishr", OpKind.ARITH, "II", 2, is_float=False)
+    IAND = OpInfo("iand", OpKind.ARITH, "II", 2, is_float=False)
+    IOR = OpInfo("ior", OpKind.ARITH, "II", 2, is_float=False)
+    IXOR = OpInfo("ixor", OpKind.ARITH, "II", 2, is_float=False)
+    IMIN = OpInfo("imin", OpKind.ARITH, "II", 2, is_float=False)
+    IMAX = OpInfo("imax", OpKind.ARITH, "II", 2, is_float=False)
+    # -- predicates and selection -----------------------------------------
+    ISETP = OpInfo("isetp", OpKind.SETP, "II", 2, is_float=False)
+    FSETP = OpInfo("fsetp", OpKind.SETP, "II", 2)
+    SEL = OpInfo("sel", OpKind.SELECT, "II", 3)
+    # -- memory ------------------------------------------------------------
+    LDG = OpInfo("ldg", OpKind.LOAD_GLOBAL, "II", 1)
+    STG = OpInfo("stg", OpKind.STORE_GLOBAL, "II", 2, writes_register=False)
+    LDS = OpInfo("lds", OpKind.LOAD_SHARED, "II", 1)
+    STS = OpInfo("sts", OpKind.STORE_SHARED, "II", 2, writes_register=False)
+    # -- control -------------------------------------------------------------
+    BRA = OpInfo("bra", OpKind.BRANCH, "II", 0, writes_register=False)
+    BAR = OpInfo("bar", OpKind.BARRIER, "II", 0, writes_register=False)
+    EXIT = OpInfo("exit", OpKind.EXIT, "II", 0, writes_register=False)
+    NOP = OpInfo("nop", OpKind.NOP, "II", 0, writes_register=False)
+
+    @property
+    def info(self) -> OpInfo:
+        return self.value
+
+    @property
+    def mnemonic(self) -> str:
+        return self.value.mnemonic
+
+    @property
+    def kind(self) -> OpKind:
+        return self.value.kind
+
+    @property
+    def instr_type(self) -> str:
+        """Pipeline cost class ('I'..'IV'), paper Table 1."""
+        return self.value.instr_type
+
+    @property
+    def is_memory(self) -> bool:
+        return self.value.kind in (
+            OpKind.LOAD_GLOBAL,
+            OpKind.STORE_GLOBAL,
+            OpKind.LOAD_SHARED,
+            OpKind.STORE_SHARED,
+        )
+
+    @property
+    def is_control(self) -> bool:
+        return self.value.kind in (OpKind.BRANCH, OpKind.BARRIER, OpKind.EXIT)
+
+
+#: Mnemonic -> Opcode lookup for the assembler.
+MNEMONICS: dict[str, Opcode] = {op.mnemonic: op for op in Opcode}
+
+#: Comparison operators accepted by isetp/fsetp.
+COMPARISONS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+def opcode_from_mnemonic(text: str) -> Opcode:
+    """Look up an opcode by its textual mnemonic."""
+    try:
+        return MNEMONICS[text.lower()]
+    except KeyError:
+        raise IsaError(f"unknown mnemonic: {text!r}") from None
+
+
+#: Example instructions per type, as printed in Table 1.
+TABLE1_EXAMPLES = {
+    "I": ("mul",),
+    "II": ("mov", "add", "mad"),
+    "III": ("sin", "cos", "log", "rcp"),
+    "IV": ("double precision floating point",),
+}

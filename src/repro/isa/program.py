@@ -1,0 +1,64 @@
+"""Kernel: a complete native program plus its static resource needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+#: Shared-memory bytes the CUDA ABI reserves per block (parameters,
+#: block indices, etc.).  Chosen to reproduce the paper's Table 2
+#: shared-memory footprints; see DESIGN.md.
+ABI_SHARED_OVERHEAD = 64
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An immutable native-code kernel.
+
+    ``params`` are launch-time scalar arguments (base addresses, sizes);
+    at launch each is materialized into the register named by
+    ``param_regs``.  ``shared_memory_words`` is the *data* shared-memory
+    footprint in 4-byte words; the ABI overhead is added on top when the
+    occupancy calculator asks for bytes.
+    """
+
+    name: str
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+    params: tuple[str, ...] = ()
+    param_regs: dict[str, int] = field(default_factory=dict)
+    num_registers: int = 0
+    num_predicates: int = 0
+    shared_memory_words: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise IsaError("a kernel needs at least one instruction")
+        for name, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise IsaError(f"label {name!r} points outside the program")
+        for param in self.params:
+            if param not in self.param_regs:
+                raise IsaError(f"parameter {param!r} has no register binding")
+
+    @property
+    def shared_memory_bytes(self) -> int:
+        """Static shared memory per block, including ABI overhead."""
+        return self.shared_memory_words * 4 + ABI_SHARED_OVERHEAD
+
+    def label_for(self, index: int) -> str | None:
+        """Return a label that points at ``index``, if any."""
+        for name, target in self.labels.items():
+            if target == index:
+                return name
+        return None
+
+    def count_static(self, opcode: Opcode) -> int:
+        """Number of static occurrences of an opcode."""
+        return sum(1 for instr in self.instructions if instr.opcode is opcode)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

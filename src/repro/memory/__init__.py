@@ -1,0 +1,49 @@
+"""Memory-system analyzers: coalescing, bank conflicts, layouts."""
+
+from repro.memory.banks import (
+    DEFAULT_BANKS,
+    BankConfig,
+    conflict_degree,
+    halfwarp_transactions,
+    stride_conflict_degree,
+    warp_transactions,
+)
+from repro.memory.coalescing import (
+    DEFAULT_CONFIG,
+    Transaction,
+    TransactionConfig,
+    bytes_transferred,
+    coalesce_halfwarp,
+    coalesce_warp,
+    transaction_count,
+)
+from repro.memory.layout import (
+    deinterleave,
+    interleave,
+    interleave_permutation,
+    pad_array,
+    pad_index,
+    padded_length,
+)
+
+__all__ = [
+    "BankConfig",
+    "DEFAULT_BANKS",
+    "DEFAULT_CONFIG",
+    "Transaction",
+    "TransactionConfig",
+    "bytes_transferred",
+    "coalesce_halfwarp",
+    "coalesce_warp",
+    "conflict_degree",
+    "deinterleave",
+    "halfwarp_transactions",
+    "interleave",
+    "interleave_permutation",
+    "pad_array",
+    "pad_index",
+    "padded_length",
+    "stride_conflict_degree",
+    "transaction_count",
+    "warp_transactions",
+]

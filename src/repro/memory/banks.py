@@ -1,0 +1,113 @@
+"""Shared-memory bank-conflict analysis (paper Section 4.2).
+
+Shared memory on the GTX 285 has 16 banks of 4-byte words; adjacent
+words live in adjacent banks.  A half-warp's access is serialized into
+as many transactions as the most-contended bank has *distinct* words
+(threads reading the same word are served by the broadcast path).
+Barra does not collect bank-conflict information; the paper wrote a
+separate tool to derive the effective number of shared-memory
+transactions -- this module is that tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.specs import HALF_WARP
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    """Bank layout of one SM's shared memory."""
+
+    num_banks: int = 16
+    bank_width: int = 4  # bytes
+    halfwarp: int = HALF_WARP
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.bank_width <= 0:
+            raise ModelError("bank counts and widths must be positive")
+
+    def bank_of(self, address: int) -> int:
+        return (address // self.bank_width) % self.num_banks
+
+    def word_of(self, address: int) -> int:
+        return address // self.bank_width
+
+
+DEFAULT_BANKS = BankConfig()
+
+
+def conflict_degree(
+    addresses: Sequence[int], config: BankConfig = DEFAULT_BANKS
+) -> int:
+    """Serialization factor for one half-warp's shared access.
+
+    Returns the number of transactions needed: the maximum, over banks,
+    of the number of distinct words requested in that bank.  Zero active
+    addresses cost zero transactions; a broadcast (all threads reading
+    one word) costs one.
+    """
+    if not addresses:
+        return 0
+    words_per_bank: dict[int, set[int]] = {}
+    for address in addresses:
+        word = config.word_of(int(address))
+        words_per_bank.setdefault(word % config.num_banks, set()).add(word)
+    return max(len(words) for words in words_per_bank.values())
+
+
+def halfwarp_transactions(
+    addresses: Sequence[int],
+    active: Sequence[bool] | None = None,
+    config: BankConfig = DEFAULT_BANKS,
+) -> tuple[int, int]:
+    """(actual, conflict-free) transaction counts for one half-warp."""
+    if active is not None:
+        addresses = [a for a, on in zip(addresses, active) if on]
+    if not addresses:
+        return 0, 0
+    return conflict_degree(addresses, config), 1
+
+
+def warp_transactions(
+    addresses: Sequence[int],
+    active: Sequence[bool] | None = None,
+    config: BankConfig = DEFAULT_BANKS,
+) -> tuple[int, int]:
+    """(actual, conflict-free) transaction counts for a full warp.
+
+    Each half-warp is serviced independently, as on GT200 hardware.
+    """
+    n = len(addresses)
+    if active is None:
+        active = [True] * n
+    actual = 0
+    ideal = 0
+    for start in range(0, n, config.halfwarp):
+        group = [
+            int(addresses[i])
+            for i in range(start, min(start + config.halfwarp, n))
+            if active[i]
+        ]
+        got, want = halfwarp_transactions(group, config=config)
+        actual += got
+        ideal += want
+    return actual, ideal
+
+
+def stride_conflict_degree(
+    stride_words: int, threads: int = HALF_WARP, config: BankConfig = DEFAULT_BANKS
+) -> int:
+    """Conflict degree of a regular strided pattern (analysis helper).
+
+    Cyclic reduction's step ``k`` accesses shared memory with a stride of
+    ``2**k`` words, giving ``min(2**k, num_banks)``-way conflicts
+    (paper Fig. 5) as long as enough threads are active.
+    """
+    if threads <= 0:
+        return 0
+    addresses = [i * stride_words * config.bank_width for i in range(threads)]
+    return conflict_degree(addresses, config)

@@ -1,0 +1,149 @@
+"""Global-memory transaction simulator (paper Section 4.3).
+
+CUDA compute-capability 1.2/1.3 issues memory transactions at half-warp
+granularity with this coalescing protocol:
+
+1. find the memory segment containing the address requested by the
+   lowest-numbered unserved thread;
+2. find all other threads whose requested address is in that segment;
+3. reduce the segment size if possible;
+4. repeat until all threads in the half-warp are served.
+
+The minimum segment the hardware supports for 4-byte words is 32 bytes;
+the paper's what-if studies also evaluate hypothetical 16-byte and
+4-byte granularities (Fig. 11), which this simulator supports through
+``TransactionConfig.min_segment``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arch.specs import HALF_WARP
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class TransactionConfig:
+    """Coalescing parameters."""
+
+    min_segment: int = 32
+    max_segment: int = 128
+    halfwarp: int = HALF_WARP
+
+    def __post_init__(self) -> None:
+        for name in ("min_segment", "max_segment"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ModelError(f"{name} must be a positive power of two")
+        if self.min_segment > self.max_segment:
+            raise ModelError("min_segment exceeds max_segment")
+        if self.halfwarp <= 0:
+            raise ModelError("halfwarp must be positive")
+
+
+#: Hardware configuration of the GTX 285.
+DEFAULT_CONFIG = TransactionConfig()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One hardware memory transaction: an aligned segment."""
+
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int, access_bytes: int) -> bool:
+        return self.address <= address and address + access_bytes <= self.end
+
+
+def initial_segment_size(access_bytes: int, config: TransactionConfig) -> int:
+    """Starting segment size for an access width (CUDA 1.2/1.3 rule)."""
+    if access_bytes == 1:
+        size = 32
+    elif access_bytes == 2:
+        size = 64
+    else:
+        size = 128
+    return max(config.min_segment, min(size, config.max_segment))
+
+
+def coalesce_halfwarp(
+    addresses: Sequence[int],
+    access_bytes: int = 4,
+    config: TransactionConfig = DEFAULT_CONFIG,
+) -> list[Transaction]:
+    """Coalesce one half-warp's requested addresses into transactions.
+
+    ``addresses`` holds the byte addresses of the *active* threads, in
+    thread order.  Returns the issued transactions in order.
+    """
+    if access_bytes <= 0:
+        raise ModelError("access_bytes must be positive")
+    pending = [int(a) for a in addresses]
+    transactions: list[Transaction] = []
+    start_size = initial_segment_size(access_bytes, config)
+    while pending:
+        lead = pending[0]
+        size = start_size
+        base = lead - (lead % size)
+        in_segment = [a for a in pending if base <= a and a + access_bytes <= base + size]
+        # Step 3: shrink the segment while all covered accesses fit a half.
+        while size // 2 >= config.min_segment and size // 2 >= access_bytes:
+            half = size // 2
+            low_base, high_base = base, base + half
+            if all(a + access_bytes <= low_base + half for a in in_segment):
+                size = half
+            elif all(a >= high_base for a in in_segment):
+                base, size = high_base, half
+            else:
+                break
+        transactions.append(Transaction(base, size))
+        pending = [
+            a
+            for a in pending
+            if not (base <= a and a + access_bytes <= base + size)
+        ]
+    return transactions
+
+
+def coalesce_warp(
+    addresses: Sequence[int],
+    active: Sequence[bool] | None = None,
+    access_bytes: int = 4,
+    config: TransactionConfig = DEFAULT_CONFIG,
+) -> list[Transaction]:
+    """Coalesce a full warp: each half-warp is served independently."""
+    n = len(addresses)
+    if active is None:
+        active = [True] * n
+    transactions: list[Transaction] = []
+    for start in range(0, n, config.halfwarp):
+        group = [
+            int(addresses[i])
+            for i in range(start, min(start + config.halfwarp, n))
+            if active[i]
+        ]
+        if group:
+            transactions.extend(coalesce_halfwarp(group, access_bytes, config))
+    return transactions
+
+
+def transaction_count(
+    addresses: Sequence[int],
+    active: Sequence[bool] | None = None,
+    access_bytes: int = 4,
+    config: TransactionConfig = DEFAULT_CONFIG,
+) -> int:
+    """Number of hardware transactions for a warp's request."""
+    return len(coalesce_warp(addresses, active, access_bytes, config))
+
+
+def bytes_transferred(transactions: Iterable[Transaction]) -> int:
+    """Total bytes moved by a list of transactions."""
+    return sum(t.size for t in transactions)

@@ -1,0 +1,69 @@
+"""Data-layout transforms used by the case studies.
+
+* **Padding** (tridiagonal solver, Section 5.2): insert one unused word
+  after every ``num_banks`` elements so that power-of-two strides no
+  longer map to a single bank (the paper's CR-NBC technique).
+* **Interleaving** (SpMV, Section 5.3): reorder rows/entries so that the
+  ``g`` rows a thread owns are split into ``g`` groups and rows of the
+  same group are stored together (paper Figs. 9(d) and 10(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def pad_index(index: int, every: int = 16) -> int:
+    """Index into a padded array: one pad word per ``every`` elements."""
+    if index < 0:
+        raise ModelError("index must be non-negative")
+    if every <= 0:
+        raise ModelError("padding interval must be positive")
+    return index + index // every
+
+
+def padded_length(length: int, every: int = 16) -> int:
+    """Storage length needed to hold ``length`` padded elements."""
+    if length <= 0:
+        return 0
+    return pad_index(length - 1, every) + 1
+
+
+def pad_array(values: np.ndarray, every: int = 16, fill: float = 0.0) -> np.ndarray:
+    """Scatter a 1-D array into its padded layout."""
+    values = np.asarray(values)
+    out = np.full(padded_length(len(values), every), fill, dtype=values.dtype)
+    out[[pad_index(i, every) for i in range(len(values))]] = values
+    return out
+
+
+def interleave_permutation(n: int, group: int) -> np.ndarray:
+    """Map old index -> new index for group-interleaved storage.
+
+    Element ``i`` moves to position ``(i % group) * (n // group) + i // group``:
+    all first-of-group elements first, then all second-of-group, etc.
+    """
+    if group <= 0:
+        raise ModelError("group must be positive")
+    if n % group:
+        raise ModelError(f"length {n} is not a multiple of group {group}")
+    i = np.arange(n)
+    return (i % group) * (n // group) + i // group
+
+
+def interleave(values: np.ndarray, group: int) -> np.ndarray:
+    """Reorder a 1-D array into interleaved storage."""
+    values = np.asarray(values)
+    perm = interleave_permutation(len(values), group)
+    out = np.empty_like(values)
+    out[perm] = values
+    return out
+
+
+def deinterleave(values: np.ndarray, group: int) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    values = np.asarray(values)
+    perm = interleave_permutation(len(values), group)
+    return values[perm]

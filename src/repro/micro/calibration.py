@@ -1,0 +1,141 @@
+"""Calibration tables: the microbenchmark observations the model uses.
+
+Running all microbenchmarks once yields the throughput curves of Fig. 2
+and a memoized synthetic-benchmark oracle for global memory.  Tables can
+be saved/loaded as JSON so benchmark harnesses do not re-calibrate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CalibrationError
+from repro.hw.gpu import HardwareGpu
+from repro.micro.globalmem import GlobalBenchmarkResult, run_synthetic
+from repro.micro.instruction import (
+    DEFAULT_WARP_COUNTS,
+    InstructionThroughputTable,
+    measure_instruction_throughput,
+)
+from repro.micro.shared import SharedBandwidthTable, measure_shared_bandwidth
+
+
+@dataclass
+class CalibrationTables:
+    """Everything the performance model knows about the hardware."""
+
+    instruction: InstructionThroughputTable
+    shared: SharedBandwidthTable
+    gpu: HardwareGpu = field(repr=False, default=None)
+    _global_cache: dict[tuple[int, int, int], GlobalBenchmarkResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def global_benchmark(
+        self, num_blocks: int, threads_per_block: int, loads_per_thread: int
+    ) -> GlobalBenchmarkResult:
+        """Synthetic global benchmark of a configuration (memoized)."""
+        if self.gpu is None:
+            raise CalibrationError(
+                "calibration tables were loaded without a hardware handle; "
+                "global benchmarks cannot be run"
+            )
+        key = (num_blocks, threads_per_block, loads_per_thread)
+        result = self._global_cache.get(key)
+        if result is None:
+            result = run_synthetic(
+                num_blocks, threads_per_block, loads_per_thread, self.gpu
+            )
+            self._global_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "warp_counts": list(self.instruction.warp_counts),
+            "instruction": {
+                name: list(values)
+                for name, values in self.instruction.throughput.items()
+            },
+            "shared_warp_counts": list(self.shared.warp_counts),
+            "shared": list(self.shared.bandwidth),
+            "global": [
+                {
+                    "key": list(key),
+                    "seconds": r.seconds,
+                    "useful_bytes": r.useful_bytes,
+                    "transactions": r.transactions,
+                    "transferred_bytes": r.transferred_bytes,
+                }
+                for key, r in self._global_cache.items()
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_json(
+        cls, text: str, gpu: HardwareGpu | None = None
+    ) -> "CalibrationTables":
+        try:
+            payload = json.loads(text)
+            instruction = InstructionThroughputTable(
+                tuple(payload["warp_counts"]),
+                {k: tuple(v) for k, v in payload["instruction"].items()},
+            )
+            shared = SharedBandwidthTable(
+                tuple(payload["shared_warp_counts"]), tuple(payload["shared"])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed calibration JSON: {exc}") from exc
+        tables = cls(instruction=instruction, shared=shared, gpu=gpu)
+        for entry in payload.get("global", ()):
+            key = tuple(entry["key"])
+            tables._global_cache[key] = GlobalBenchmarkResult(
+                num_blocks=key[0],
+                threads_per_block=key[1],
+                loads_per_thread=key[2],
+                seconds=entry["seconds"],
+                useful_bytes=entry["useful_bytes"],
+                transactions=entry["transactions"],
+                transferred_bytes=entry["transferred_bytes"],
+            )
+        return tables
+
+    @classmethod
+    def load(cls, path: str | Path, gpu: HardwareGpu | None = None):
+        return cls.from_json(Path(path).read_text(), gpu=gpu)
+
+
+_DEFAULT_TABLES: dict[int, CalibrationTables] = {}
+
+
+def calibrate(
+    gpu: HardwareGpu | None = None,
+    warp_counts: tuple[int, ...] = DEFAULT_WARP_COUNTS,
+    iterations: int = 60,
+) -> CalibrationTables:
+    """Run the full microbenchmark suite against a hardware instance."""
+    gpu = gpu or HardwareGpu()
+    instruction = measure_instruction_throughput(
+        gpu, warp_counts=warp_counts, iterations=iterations
+    )
+    shared = measure_shared_bandwidth(
+        gpu, warp_counts=warp_counts, iterations=iterations
+    )
+    return CalibrationTables(instruction=instruction, shared=shared, gpu=gpu)
+
+
+def default_tables(gpu: HardwareGpu | None = None) -> CalibrationTables:
+    """Process-wide cached calibration for the default hardware."""
+    gpu = gpu or HardwareGpu()
+    key = id(gpu.config) ^ id(gpu.spec)
+    if key not in _DEFAULT_TABLES:
+        _DEFAULT_TABLES[key] = calibrate(gpu)
+    return _DEFAULT_TABLES[key]

@@ -1,0 +1,114 @@
+"""Synthetic benchmark kernels (the paper's CUBIN generator analogue).
+
+The paper generates native-code microbenchmarks directly, bypassing the
+compiler, so the GPU executes exactly the intended instruction mix.
+These builders do the same with :class:`KernelBuilder`: a repeated
+single-type instruction chain (instruction pipeline), a shared-memory
+region copy (shared bandwidth), and a strided global-memory streamer
+(global bandwidth), each with the canonical 3-instruction loop overhead
+a compiler would emit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Imm
+from repro.isa.program import Kernel
+
+#: Words reserved per region in the shared-copy benchmark (fits any
+#: block size up to 512 threads with the unrolled offsets).
+_SHARED_REGION_WORDS = 640
+
+
+def instruction_benchmark(type_name: str, unroll: int = 16) -> Kernel:
+    """A kernel that repeats one instruction type in a dependent chain.
+
+    The chain (``a = op(a, b)``) defeats instruction-level parallelism,
+    so the measured throughput curve isolates how many *warps* are
+    needed to cover the pipeline latency (paper Section 4.1).
+    """
+    if unroll < 1:
+        raise IsaError("unroll must be at least 1")
+    ops = {
+        "I": lambda b, a, c: b.fmul(a, a, c),
+        "II": lambda b, a, c: b.fmad(a, a, c, a),
+        "III": lambda b, a, c: b.rcp(a, a),
+        "IV": lambda b, a, c: b.dadd(a, a, c),
+    }
+    if type_name not in ops:
+        raise IsaError(f"unknown instruction type {type_name!r}")
+    b = KernelBuilder(f"instr_{type_name.lower()}", params=("iters",))
+    a = b.reg()
+    c = b.reg()
+    b.mov(a, b.tid)
+    b.mov(c, Imm(0.999993))
+    emit = ops[type_name]
+    with b.counted_loop(b.param("iters")):
+        for _ in range(unroll):
+            emit(b, a, c)
+    # Keep the chain live so a real compiler could not dead-code it.
+    sink = b.reg()
+    b.fadd(sink, a, c)
+    b.exit()
+    return b.build()
+
+
+def shared_copy_benchmark(unroll: int = 8) -> Kernel:
+    """Move data between two shared-memory regions (paper Section 4.2).
+
+    Every thread copies ``unroll`` words per iteration, conflict-free
+    (lane ``i`` touches word ``i`` of each region).  Loads are address-
+    independent across the unrolled body, so modest memory-level
+    parallelism is available, as in the paper's benchmark.
+    """
+    if not 1 <= unroll <= 8:
+        raise IsaError("shared-copy unroll must be in [1, 8]")
+    b = KernelBuilder("shared_copy", params=("iters",))
+    src_base = b.alloc_shared(_SHARED_REGION_WORDS)
+    dst_base = b.alloc_shared(_SHARED_REGION_WORDS)
+    src = b.reg()
+    dst = b.reg()
+    b.ishl(src, b.tid, Imm(2))
+    b.iadd(dst, src, Imm(dst_base))
+    b.iadd(src, src, Imm(src_base))
+    values = b.regs(min(unroll, 4))
+    with b.counted_loop(b.param("iters")):
+        for k in range(unroll):
+            v = values[k % len(values)]
+            b.lds(v, src, offset=4 * k)
+            b.sts(v, dst, offset=4 * k)
+    b.exit()
+    return b.build()
+
+
+def global_stream_benchmark(stride_words: int = 1) -> Kernel:
+    """Stream global memory: each thread issues one load per iteration.
+
+    With ``stride_words == 1`` consecutive lanes read consecutive words
+    (fully coalesced, the paper's synthetic benchmark).  Larger strides
+    spread a half-warp over more segments to emulate poorly coalesced
+    access.  The thread's pointer advances by the whole block's footprint
+    each iteration ("memory transactions per thread" is the trip count,
+    as in Fig. 3's legend).
+    """
+    if stride_words < 1:
+        raise IsaError("stride must be at least 1")
+    b = KernelBuilder("global_stream", params=("buf", "iters"))
+    addr = b.reg()
+    step = b.reg()
+    b.imad(addr, b.tid, Imm(4 * stride_words), b.param("buf"))
+    b.imul(step, b.ntid, Imm(4 * stride_words))
+    v = b.reg()
+    with b.counted_loop(b.param("iters")):
+        b.ldg(v, addr)
+        b.iadd(addr, addr, step)
+    b.exit()
+    return b.build()
+
+
+def buffer_words_for_stream(
+    threads: int, iterations: int, stride_words: int = 1
+) -> int:
+    """Global-buffer size (words) the streamer touches."""
+    return threads * stride_words * (iterations + 1)

@@ -1,0 +1,126 @@
+"""Global-memory bandwidth microbenchmarks (Section 4.3, Fig. 3).
+
+The paper found global bandwidth too complex for a closed-form model and
+instead estimates a program's global component by running a *synthetic
+benchmark of the same configuration* (number of blocks, block size,
+memory transactions per thread).  This module is that synthetic
+benchmark: it measures bandwidth for one configuration, and sweeps the
+configuration grid that regenerates Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gpu import HardwareGpu
+from repro.micro.codegen import buffer_words_for_stream, global_stream_benchmark
+from repro.micro.runner import single_warp_stream, synthetic_block
+from repro.sim.memory import GlobalMemory
+
+#: Fig. 3's legend: (threads per block, memory transactions per thread).
+FIG3_CONFIGS = (
+    (512, 256),
+    (256, 256),
+    (256, 128),
+    (128, 256),
+    (128, 128),
+    (64, 256),
+    (512, 2),
+    (256, 2),
+)
+
+
+@dataclass(frozen=True)
+class GlobalBenchmarkResult:
+    """One synthetic-benchmark measurement."""
+
+    num_blocks: int
+    threads_per_block: int
+    loads_per_thread: int
+    seconds: float
+    useful_bytes: int
+    transactions: int
+    transferred_bytes: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Useful bytes per second (what Fig. 3 plots)."""
+        return self.useful_bytes / self.seconds
+
+    @property
+    def byte_rate(self) -> float:
+        """Transferred (transaction) bytes per second -- the model's rate."""
+        return self.transferred_bytes / self.seconds
+
+
+#: Cache of functional-simulation streams: the event sequence depends
+#: only on (stride, loads per thread), not on grid shape, so Fig. 3's
+#: 8 x 60 sweep re-simulates each kernel once.
+_STREAM_CACHE: dict[tuple[int, int], list] = {}
+
+
+def _stream_for(stride_words: int, loads_per_thread: int) -> list:
+    key = (stride_words, loads_per_thread)
+    stream = _STREAM_CACHE.get(key)
+    if stream is None:
+        kernel = global_stream_benchmark(stride_words=stride_words)
+        gmem = GlobalMemory()
+        words = buffer_words_for_stream(32, loads_per_thread, stride_words)
+        base = gmem.alloc(words, "stream")
+        stream = single_warp_stream(
+            kernel, {"buf": base, "iters": loads_per_thread}, gmem=gmem
+        )
+        _STREAM_CACHE[key] = stream
+    return stream
+
+
+def run_synthetic(
+    num_blocks: int,
+    threads_per_block: int,
+    loads_per_thread: int,
+    gpu: HardwareGpu | None = None,
+    stride_words: int = 1,
+) -> GlobalBenchmarkResult:
+    """Measure one (blocks, threads, transactions/thread) configuration."""
+    gpu = gpu or HardwareGpu()
+    spec = gpu.spec
+    stream = _stream_for(stride_words, loads_per_thread)
+
+    warps_per_block = -(-threads_per_block // 32)
+    trace = synthetic_block(stream, warps_per_block)
+    # The streaming kernel is tiny: the block-per-SM ceiling (8) binds.
+    resident = min(8, max(1, 32 // warps_per_block))
+    measured = gpu.measure(
+        trace, num_blocks=num_blocks, resident_per_sm=resident
+    )
+
+    transactions = sum(
+        e[2] for e in stream if e[0] in (3, 4)
+    ) * warps_per_block * num_blocks
+    transferred = sum(
+        e[3] for e in stream if e[0] in (3, 4)
+    ) * warps_per_block * num_blocks
+    useful = loads_per_thread * threads_per_block * num_blocks * 4
+    return GlobalBenchmarkResult(
+        num_blocks=num_blocks,
+        threads_per_block=threads_per_block,
+        loads_per_thread=loads_per_thread,
+        seconds=measured.seconds,
+        useful_bytes=useful,
+        transactions=transactions,
+        transferred_bytes=transferred,
+    )
+
+
+def sweep_blocks(
+    threads_per_block: int,
+    loads_per_thread: int,
+    block_counts: tuple[int, ...],
+    gpu: HardwareGpu | None = None,
+) -> list[GlobalBenchmarkResult]:
+    """One Fig. 3 series: bandwidth against the number of blocks."""
+    gpu = gpu or HardwareGpu()
+    return [
+        run_synthetic(blocks, threads_per_block, loads_per_thread, gpu)
+        for blocks in block_counts
+    ]

@@ -1,0 +1,64 @@
+"""The quantitative GPU performance model (the paper's contribution)."""
+
+from repro.model.components import (
+    COMPONENTS,
+    ComponentModels,
+    ComponentTimes,
+    GlobalMemoryModel,
+    InstructionPipelineModel,
+    SharedMemoryModel,
+)
+from repro.model.curves import ThroughputCurve, instruction_curves, shared_curve
+from repro.model.extractor import (
+    ModelInputs,
+    StageInputs,
+    extract_inputs,
+    with_blocks_per_sm,
+    with_granularity,
+    without_bank_conflicts,
+)
+from repro.model.performance import AnalysisContext, PerformanceModel
+from repro.model.report import (
+    Diagnostics,
+    PerformanceReport,
+    StageAnalysis,
+    diagnose,
+)
+from repro.model.whatif import (
+    WhatIfResult,
+    predict_with_early_resource_release,
+    predict_with_granularity,
+    predict_with_max_blocks,
+    predict_with_resources,
+    predict_without_bank_conflicts,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "COMPONENTS",
+    "ComponentModels",
+    "ComponentTimes",
+    "Diagnostics",
+    "GlobalMemoryModel",
+    "InstructionPipelineModel",
+    "ModelInputs",
+    "PerformanceModel",
+    "PerformanceReport",
+    "SharedMemoryModel",
+    "StageAnalysis",
+    "StageInputs",
+    "ThroughputCurve",
+    "WhatIfResult",
+    "diagnose",
+    "extract_inputs",
+    "instruction_curves",
+    "predict_with_early_resource_release",
+    "predict_with_granularity",
+    "predict_with_max_blocks",
+    "predict_with_resources",
+    "predict_without_bank_conflicts",
+    "shared_curve",
+    "with_blocks_per_sm",
+    "with_granularity",
+    "without_bank_conflicts",
+]

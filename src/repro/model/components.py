@@ -1,0 +1,160 @@
+"""The three component models: instruction pipeline, shared, global.
+
+Each estimates the time its architecture component spends on one stage
+(paper Section 3): the instruction pipeline as a linear combination of
+per-type costs at the stage's warp parallelism, shared memory as
+conflict-corrected transactions over the bandwidth curve, and global
+memory via a synthetic benchmark of the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec, GTX285
+from repro.errors import ModelError
+from repro.micro.calibration import CalibrationTables
+from repro.micro.shared import SHARED_TRANSACTION_BYTES
+from repro.model.curves import ThroughputCurve, instruction_curves, shared_curve
+from repro.model.extractor import ModelInputs, StageInputs
+
+#: Component names, in the paper's order.
+COMPONENTS = ("instruction", "shared", "global")
+
+
+@dataclass(frozen=True)
+class ComponentTimes:
+    """Seconds spent in each component (for one stage or a program)."""
+
+    instruction: float
+    shared: float
+    global_: float
+
+    @property
+    def bottleneck(self) -> str:
+        values = {
+            "instruction": self.instruction,
+            "shared": self.shared,
+            "global": self.global_,
+        }
+        return max(values, key=values.get)
+
+    @property
+    def bottleneck_time(self) -> float:
+        return max(self.instruction, self.shared, self.global_)
+
+    def get(self, name: str) -> float:
+        if name == "instruction":
+            return self.instruction
+        if name == "shared":
+            return self.shared
+        if name == "global":
+            return self.global_
+        raise ModelError(f"unknown component {name!r}")
+
+    def next_bottleneck(self) -> str:
+        """The component that binds once the current bottleneck is removed."""
+        order = sorted(
+            ("instruction", "shared", "global"), key=self.get, reverse=True
+        )
+        return order[1]
+
+    def __add__(self, other: "ComponentTimes") -> "ComponentTimes":
+        return ComponentTimes(
+            self.instruction + other.instruction,
+            self.shared + other.shared,
+            self.global_ + other.global_,
+        )
+
+
+ZERO_TIMES = ComponentTimes(0.0, 0.0, 0.0)
+
+
+class InstructionPipelineModel:
+    """Time = sum over types of count / throughput(warps)."""
+
+    def __init__(self, curves: dict[str, ThroughputCurve]) -> None:
+        self.curves = curves
+
+    def stage_time(self, stage: StageInputs, warps: int) -> float:
+        total = 0.0
+        for type_name, count in stage.instr_by_type.items():
+            if not count:
+                continue
+            rate = self.curves[type_name].at(warps)
+            if rate <= 0:
+                raise ModelError(f"non-positive throughput for type {type_name}")
+            total += count / rate
+        return total
+
+
+class SharedMemoryModel:
+    """Time = conflict-corrected transactions * 64 B / bandwidth(warps)."""
+
+    def __init__(self, curve: ThroughputCurve) -> None:
+        self.curve = curve
+
+    def stage_time(self, stage: StageInputs, warps: int) -> float:
+        if not stage.shared_transactions:
+            return 0.0
+        bandwidth = self.curve.at(warps)
+        if bandwidth <= 0:
+            raise ModelError("non-positive shared bandwidth")
+        return stage.shared_transactions * SHARED_TRANSACTION_BYTES / bandwidth
+
+
+class GlobalMemoryModel:
+    """Time from a synthetic benchmark of the same configuration.
+
+    The synthetic run (same blocks, block size, and per-thread request
+    count) yields a byte rate; the stage's coalesced transaction bytes
+    divided by that rate is the stage's global-memory time.
+    """
+
+    def __init__(self, tables: CalibrationTables) -> None:
+        self.tables = tables
+
+    def stage_time(self, stage: StageInputs, inputs: ModelInputs) -> float:
+        nbytes = stage.global_bytes.get(inputs.granularity, 0)
+        if not nbytes:
+            return 0.0
+        # The synthetic benchmark mirrors the *program's* configuration
+        # (blocks, block size, transactions per thread -- paper §4.3):
+        # stages overlap across blocks, so the memory system sees the
+        # whole request stream, not one stage's slice of it.
+        totals = inputs.totals
+        total_threads = inputs.num_blocks * inputs.threads_per_block
+        requests_per_thread = max(
+            1, round(totals.global_requests * 32 / total_threads)
+        )
+        # Beyond ~15 waves the synthetic rate is flat in block count, so
+        # large grids reuse a 120-block measurement (keeps calibration
+        # cheap without changing the estimate).
+        synthetic = self.tables.global_benchmark(
+            min(inputs.num_blocks, 120),
+            inputs.threads_per_block,
+            min(requests_per_thread, 512),
+        )
+        return nbytes / synthetic.byte_rate
+
+
+class ComponentModels:
+    """Bundle of the three component models built from calibration."""
+
+    def __init__(
+        self, tables: CalibrationTables, spec: GpuSpec = GTX285
+    ) -> None:
+        self.spec = spec
+        self.instruction = InstructionPipelineModel(instruction_curves(tables))
+        self.shared = SharedMemoryModel(shared_curve(tables))
+        self.global_ = GlobalMemoryModel(tables)
+
+    def stage_times(
+        self, stage: StageInputs, inputs: ModelInputs
+    ) -> ComponentTimes:
+        warps = inputs.active_warps_per_sm(stage, self.spec.sm.max_warps)
+        return ComponentTimes(
+            instruction=self.instruction.stage_time(stage, warps),
+            shared=self.shared.stage_time(stage, warps),
+            global_=self.global_.stage_time(stage, inputs),
+        )

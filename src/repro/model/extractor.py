@@ -1,0 +1,198 @@
+"""Info extractor: dynamic traces -> performance-model inputs.
+
+This is the box of the paper's Fig. 1 that turns Barra's dynamic
+instruction counts into "number of instructions of each type, shared
+memory transactions, and global memory transactions", split by the
+synchronization stages the program's barriers define.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.occupancy import Occupancy
+from repro.arch.specs import GpuSpec, GTX285
+from repro.errors import ModelError
+from repro.sim.functional import LaunchConfig
+from repro.sim.trace import KernelTrace, StageStats
+
+
+@dataclass(frozen=True)
+class StageInputs:
+    """Everything the component models need about one stage."""
+
+    index: int
+    instr_by_type: dict[str, int]
+    mad_instructions: int
+    shared_transactions: int
+    shared_transactions_ideal: int
+    global_transactions: dict[int, int]
+    global_bytes: dict[int, int]
+    global_useful_bytes: int
+    global_requests: int
+    active_warps_per_block: int
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instr_by_type.values())
+
+    @property
+    def computational_density(self) -> float:
+        total = self.total_instructions
+        return self.mad_instructions / total if total else 0.0
+
+    @property
+    def bank_conflict_factor(self) -> float:
+        if not self.shared_transactions_ideal:
+            return 1.0
+        return self.shared_transactions / self.shared_transactions_ideal
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Per-stage statistics plus the launch/occupancy context."""
+
+    stages: tuple[StageInputs, ...]
+    num_blocks: int
+    threads_per_block: int
+    blocks_per_sm: int
+    warps_per_block: int
+    granularity: int = 32
+
+    @property
+    def serialized(self) -> bool:
+        """Stages serialize when only one block fits per SM (paper §3)."""
+        return self.blocks_per_sm == 1
+
+    def active_warps_per_sm(self, stage: StageInputs, max_warps: int = 32) -> int:
+        warps = stage.active_warps_per_block * self.blocks_per_sm
+        return max(1, min(warps, max_warps))
+
+    @property
+    def totals(self) -> StageInputs:
+        """All stages merged (for whole-program diagnostics)."""
+        merged = _empty_stage(0)
+        for stage in self.stages:
+            merged = _merge(merged, stage)
+        return merged
+
+
+def _empty_stage(index: int) -> StageInputs:
+    return StageInputs(
+        index=index,
+        instr_by_type={"I": 0, "II": 0, "III": 0, "IV": 0},
+        mad_instructions=0,
+        shared_transactions=0,
+        shared_transactions_ideal=0,
+        global_transactions={},
+        global_bytes={},
+        global_useful_bytes=0,
+        global_requests=0,
+        active_warps_per_block=0,
+    )
+
+
+def _merge(a: StageInputs, b: StageInputs) -> StageInputs:
+    return StageInputs(
+        index=a.index,
+        instr_by_type={
+            k: a.instr_by_type.get(k, 0) + b.instr_by_type.get(k, 0)
+            for k in set(a.instr_by_type) | set(b.instr_by_type)
+        },
+        mad_instructions=a.mad_instructions + b.mad_instructions,
+        shared_transactions=a.shared_transactions + b.shared_transactions,
+        shared_transactions_ideal=(
+            a.shared_transactions_ideal + b.shared_transactions_ideal
+        ),
+        global_transactions={
+            g: a.global_transactions.get(g, 0) + b.global_transactions.get(g, 0)
+            for g in set(a.global_transactions) | set(b.global_transactions)
+        },
+        global_bytes={
+            g: a.global_bytes.get(g, 0) + b.global_bytes.get(g, 0)
+            for g in set(a.global_bytes) | set(b.global_bytes)
+        },
+        global_useful_bytes=a.global_useful_bytes + b.global_useful_bytes,
+        global_requests=a.global_requests + b.global_requests,
+        active_warps_per_block=max(
+            a.active_warps_per_block, b.active_warps_per_block
+        ),
+    )
+
+
+def _stage_inputs(index: int, stats: StageStats) -> StageInputs:
+    return StageInputs(
+        index=index,
+        instr_by_type=dict(stats.instr_by_type),
+        mad_instructions=stats.mad_instructions,
+        shared_transactions=stats.shared_transactions,
+        shared_transactions_ideal=stats.shared_transactions_ideal,
+        global_transactions=dict(stats.global_transactions),
+        global_bytes=dict(stats.global_bytes),
+        global_useful_bytes=stats.global_useful_bytes,
+        global_requests=stats.global_requests,
+        active_warps_per_block=max(stats.active_warps, 1),
+    )
+
+
+def extract_inputs(
+    trace: KernelTrace,
+    launch: LaunchConfig,
+    occupancy: Occupancy,
+    spec: GpuSpec = GTX285,
+    granularity: int = 32,
+) -> ModelInputs:
+    """Build model inputs from an aggregated dynamic trace."""
+    if not trace.stages:
+        raise ModelError("trace has no stages")
+    stages = tuple(
+        _stage_inputs(i, stats) for i, stats in enumerate(trace.stages)
+    )
+    for stage in stages:
+        if stage.global_requests and granularity not in stage.global_bytes:
+            raise ModelError(
+                f"trace lacks coalescing data at {granularity}-byte granularity"
+            )
+    return ModelInputs(
+        stages=stages,
+        num_blocks=trace.num_blocks,
+        threads_per_block=launch.block_threads,
+        blocks_per_sm=occupancy.blocks_per_sm,
+        warps_per_block=occupancy.warps_per_block,
+        granularity=granularity,
+    )
+
+
+def with_granularity(inputs: ModelInputs, granularity: int) -> ModelInputs:
+    """Re-target the model at a different transaction granularity.
+
+    Requires the functional run to have recorded that granularity
+    (``LaunchConfig.granularities``) -- the paper's Fig. 11 what-if.
+    """
+    for stage in inputs.stages:
+        if stage.global_requests and granularity not in stage.global_bytes:
+            raise ModelError(
+                f"no coalescing data at {granularity} bytes; re-run the "
+                "functional simulation with this granularity enabled"
+            )
+    return replace(inputs, granularity=granularity)
+
+
+def without_bank_conflicts(inputs: ModelInputs) -> ModelInputs:
+    """Replace shared transactions by their conflict-free counts.
+
+    Predicts the benefit of removing bank conflicts *before* writing the
+    padded kernel -- exactly how the paper motivates CR-NBC (Fig. 6b).
+    """
+    stages = tuple(
+        replace(stage, shared_transactions=stage.shared_transactions_ideal)
+        for stage in inputs.stages
+    )
+    return replace(inputs, stages=stages)
+
+
+def with_blocks_per_sm(inputs: ModelInputs, blocks_per_sm: int) -> ModelInputs:
+    """Re-evaluate with a different resident-block count (what-if)."""
+    if blocks_per_sm < 1:
+        raise ModelError("blocks_per_sm must be at least 1")
+    return replace(inputs, blocks_per_sm=blocks_per_sm)

@@ -1,0 +1,184 @@
+"""Performance reports: the workflow's outputs (paper Fig. 1, right).
+
+A report carries exactly what the paper's tool reports to programmers
+and architects: runtime prediction for each component, the bottleneck
+component, instruction/memory throughput, the instruction time
+breakdown, computational density, coalescing efficiency, bank-conflict
+penalty, and warps per SM -- plus the cause diagnosis of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.specs import GpuSpec, GTX285
+from repro.micro.calibration import CalibrationTables
+from repro.model.components import ComponentTimes
+from repro.model.extractor import ModelInputs, StageInputs
+
+
+@dataclass(frozen=True)
+class StageAnalysis:
+    """Model verdict for one synchronization stage."""
+
+    index: int
+    times: ComponentTimes
+    bottleneck: str
+    active_warps: int
+    inputs: StageInputs
+
+
+@dataclass(frozen=True)
+class Diagnostics:
+    """Quantitative causes behind a bottleneck (paper Section 3)."""
+
+    computational_density: float
+    expensive_instruction_fraction: float
+    bank_conflict_factor: float
+    coalescing_efficiency: float
+    warps_per_sm: int
+    instruction_saturation_warps: int
+    shared_saturation_warps: int
+    causes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Everything the model concludes about one kernel launch."""
+
+    stages: tuple[StageAnalysis, ...]
+    serialized: bool
+    component_totals: ComponentTimes
+    predicted_seconds: float
+    bottleneck: str
+    inputs: ModelInputs
+    diagnostics: Diagnostics
+
+    @property
+    def predicted_milliseconds(self) -> float:
+        return self.predicted_seconds * 1e3
+
+    @property
+    def next_bottleneck(self) -> str:
+        """What would bind if the current bottleneck were removed."""
+        return self.component_totals.next_bottleneck()
+
+    def error_against(self, measured_seconds: float) -> float:
+        """Relative model error versus a measurement (paper's 5-15%)."""
+        return abs(self.predicted_seconds - measured_seconds) / measured_seconds
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"predicted time       : {self.predicted_milliseconds:.4f} ms",
+            f"bottleneck           : {self.bottleneck}"
+            + (" (per-stage serialization)" if self.serialized else ""),
+            f"next bottleneck      : {self.next_bottleneck}",
+            "component totals (ms): "
+            f"instruction {self.component_totals.instruction * 1e3:.4f} | "
+            f"shared {self.component_totals.shared * 1e3:.4f} | "
+            f"global {self.component_totals.global_ * 1e3:.4f}",
+            f"computational density: {self.diagnostics.computational_density:.1%}",
+            f"bank conflict factor : {self.diagnostics.bank_conflict_factor:.2f}x",
+            f"coalescing efficiency: {self.diagnostics.coalescing_efficiency:.1%}",
+            f"warps per SM         : {self.diagnostics.warps_per_sm}",
+        ]
+        if self.diagnostics.causes:
+            lines.append("causes:")
+            lines.extend(f"  - {cause}" for cause in self.diagnostics.causes)
+        if self.serialized and len(self.stages) > 1:
+            lines.append("per-stage breakdown (ms, bottleneck starred):")
+            for stage in self.stages:
+                marks = {
+                    name: ("*" if stage.bottleneck == name else " ")
+                    for name in ("instruction", "shared", "global")
+                }
+                lines.append(
+                    f"  stage {stage.index:2d} [{stage.active_warps:2d} warps] "
+                    f"instr {stage.times.instruction * 1e3:.4f}{marks['instruction']} "
+                    f"shared {stage.times.shared * 1e3:.4f}{marks['shared']} "
+                    f"global {stage.times.global_ * 1e3:.4f}{marks['global']}"
+                )
+        return "\n".join(lines)
+
+
+def diagnose(
+    inputs: ModelInputs,
+    totals: ComponentTimes,
+    bottleneck: str,
+    tables: CalibrationTables,
+    spec: GpuSpec = GTX285,
+) -> Diagnostics:
+    """Derive the paper's cause lists from the model inputs."""
+    merged = inputs.totals
+    total_instr = merged.total_instructions
+    density = merged.computational_density
+    expensive = (
+        (merged.instr_by_type.get("III", 0) + merged.instr_by_type.get("IV", 0))
+        / total_instr
+        if total_instr
+        else 0.0
+    )
+    bank_factor = merged.bank_conflict_factor
+    transferred = merged.global_bytes.get(inputs.granularity, 0)
+    coalescing = (
+        merged.global_useful_bytes / transferred if transferred else 1.0
+    )
+    warps = inputs.active_warps_per_sm(
+        max(inputs.stages, key=lambda s: s.active_warps_per_block),
+        spec.sm.max_warps,
+    )
+    instr_sat = tables.instruction.saturation_warps("II")
+    shared_sat = tables.shared.saturation_warps()
+
+    causes: list[str] = []
+    if bottleneck == "instruction":
+        if density < 0.5:
+            causes.append(
+                f"low computational density ({density:.0%} of instructions "
+                "do actual computation)"
+            )
+        if expensive > 0.05:
+            causes.append(
+                f"expensive instructions ({expensive:.0%} are type III/IV, "
+                "e.g. rcp/cos/log or double precision)"
+            )
+        if warps < instr_sat:
+            causes.append(
+                f"insufficient parallel warps ({warps} < {instr_sat} needed "
+                "to saturate the instruction pipeline)"
+            )
+    elif bottleneck == "shared":
+        if bank_factor > 1.05:
+            causes.append(
+                f"bank conflicts inflate shared traffic {bank_factor:.2f}x"
+            )
+        if density < 0.5 and merged.shared_transactions:
+            causes.append(
+                "shared-memory traffic from bookkeeping instructions"
+            )
+        if warps < shared_sat:
+            causes.append(
+                f"insufficient parallel warps ({warps} < {shared_sat} needed "
+                "to saturate shared memory)"
+            )
+    elif bottleneck == "global":
+        if warps * inputs.num_blocks < 64:
+            causes.append(
+                "insufficient parallelism to cover global-memory latency"
+            )
+        if coalescing < 0.9:
+            causes.append(
+                f"uncoalesced accesses / large transaction granularity "
+                f"(only {coalescing:.0%} of transferred bytes are useful)"
+            )
+    return Diagnostics(
+        computational_density=density,
+        expensive_instruction_fraction=expensive,
+        bank_conflict_factor=bank_factor,
+        coalescing_efficiency=coalescing,
+        warps_per_sm=warps,
+        instruction_saturation_warps=instr_sat,
+        shared_saturation_warps=shared_sat,
+        causes=tuple(causes),
+    )

@@ -1,0 +1,152 @@
+"""What-if analyses: predicted benefit of program/architecture changes.
+
+This is the headline use of the paper's model: "foresee the benefit of
+removing a certain bottleneck in a quantitative way" before writing any
+code, and evaluate architectural improvements (hardware resource
+allocation, avoiding bank conflicts, block scheduling, and memory
+transaction granularity) against real workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.occupancy import KernelResources, compute_occupancy
+from repro.errors import ModelError
+from repro.model.extractor import (
+    ModelInputs,
+    with_blocks_per_sm,
+    with_granularity,
+    without_bank_conflicts,
+)
+from repro.model.performance import PerformanceModel
+from repro.model.report import PerformanceReport
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Baseline versus hypothetical analysis."""
+
+    description: str
+    baseline: PerformanceReport
+    modified: PerformanceReport
+
+    @property
+    def speedup(self) -> float:
+        if self.modified.predicted_seconds <= 0:
+            raise ModelError("hypothetical time is non-positive")
+        return self.baseline.predicted_seconds / self.modified.predicted_seconds
+
+    def render(self) -> str:
+        return (
+            f"{self.description}: {self.baseline.predicted_milliseconds:.4f} ms "
+            f"-> {self.modified.predicted_milliseconds:.4f} ms "
+            f"({self.speedup:.2f}x, bottleneck {self.baseline.bottleneck} "
+            f"-> {self.modified.bottleneck})"
+        )
+
+
+def _compare(
+    model: PerformanceModel, inputs: ModelInputs, modified: ModelInputs, text: str
+) -> WhatIfResult:
+    return WhatIfResult(
+        description=text,
+        baseline=model.analyze_inputs(inputs),
+        modified=model.analyze_inputs(modified),
+    )
+
+
+def predict_without_bank_conflicts(
+    model: PerformanceModel, inputs: ModelInputs
+) -> WhatIfResult:
+    """Remove all shared-memory bank conflicts (padding / prime banks).
+
+    The program-level version is the paper's CR padding (Section 5.2);
+    the architecture-level version is its "prime number of banks"
+    suggestion -- both collapse shared transactions to conflict-free.
+    """
+    return _compare(
+        model,
+        inputs,
+        without_bank_conflicts(inputs),
+        "remove shared-memory bank conflicts",
+    )
+
+
+def predict_with_granularity(
+    model: PerformanceModel, inputs: ModelInputs, granularity: int
+) -> WhatIfResult:
+    """Change the hardware memory-transaction granularity (Fig. 11)."""
+    return _compare(
+        model,
+        inputs,
+        with_granularity(inputs, granularity),
+        f"memory transaction granularity of {granularity} bytes",
+    )
+
+
+def predict_with_max_blocks(
+    model: PerformanceModel,
+    inputs: ModelInputs,
+    resources: KernelResources,
+    max_blocks: int,
+) -> WhatIfResult:
+    """Raise the resident-block ceiling (paper Section 5.1 suggestion).
+
+    "If the maximum number of blocks was increased to 16 (without
+    changing any other resources), there would be more resident parallel
+    warps to achieve better instruction and shared memory throughput."
+    """
+    spec = model.spec.with_sm(max_blocks=max_blocks)
+    occupancy = compute_occupancy(spec, resources)
+    return _compare(
+        model,
+        inputs,
+        with_blocks_per_sm(inputs, occupancy.blocks_per_sm),
+        f"max resident blocks raised to {max_blocks}",
+    )
+
+
+def predict_with_resources(
+    model: PerformanceModel,
+    inputs: ModelInputs,
+    resources: KernelResources,
+    register_scale: float = 1.0,
+    shared_scale: float = 1.0,
+) -> WhatIfResult:
+    """Scale the SM register file / shared memory (Section 5.1).
+
+    "If we increase the register and shared memory resources per
+    multiprocessor, we can fit more warps onto a multiprocessor."
+    """
+    spec = model.spec.with_sm(
+        registers=int(model.spec.sm.registers * register_scale),
+        shared_memory_bytes=int(
+            model.spec.sm.shared_memory_bytes * shared_scale
+        ),
+    )
+    occupancy = compute_occupancy(spec, resources)
+    return _compare(
+        model,
+        inputs,
+        with_blocks_per_sm(inputs, occupancy.blocks_per_sm),
+        f"register file x{register_scale:g}, shared memory x{shared_scale:g}",
+    )
+
+
+def predict_with_early_resource_release(
+    model: PerformanceModel, inputs: ModelInputs, extra_blocks: int = 1
+) -> WhatIfResult:
+    """Schedule more blocks as a block's threads retire (Section 5.2).
+
+    The paper suggests "a mechanism to release unused hardware resources
+    early as a block uses fewer and fewer threads", letting subsequent
+    blocks raise warp-level parallelism in the late, narrow stages of
+    cyclic reduction.
+    """
+    return _compare(
+        model,
+        inputs,
+        with_blocks_per_sm(inputs, inputs.blocks_per_sm + extra_blocks),
+        f"early resource release ({extra_blocks} extra resident block(s))",
+    )

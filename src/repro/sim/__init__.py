@@ -1,0 +1,48 @@
+"""Functional SIMT simulation (the paper's Barra analogue)."""
+
+from repro.sim.functional import FunctionalSimulator, LaunchConfig
+from repro.sim.launch import (
+    evenly_spaced_blocks,
+    make_simulator,
+    run_full,
+    run_representative,
+)
+from repro.sim.memory import Allocation, GlobalMemory, SharedMemory
+from repro.sim.trace import (
+    EV_ARITH,
+    EV_ARITH_SHARED,
+    EV_BAR,
+    EV_GLOBAL_LD,
+    EV_GLOBAL_ST,
+    EV_SHARED,
+    BlockTrace,
+    KernelTrace,
+    StageStats,
+    TYPE_INDEX,
+    TYPE_NAMES,
+    aggregate_blocks,
+)
+
+__all__ = [
+    "Allocation",
+    "BlockTrace",
+    "EV_ARITH",
+    "EV_ARITH_SHARED",
+    "EV_BAR",
+    "EV_GLOBAL_LD",
+    "EV_GLOBAL_ST",
+    "EV_SHARED",
+    "FunctionalSimulator",
+    "GlobalMemory",
+    "KernelTrace",
+    "LaunchConfig",
+    "SharedMemory",
+    "StageStats",
+    "TYPE_INDEX",
+    "TYPE_NAMES",
+    "aggregate_blocks",
+    "evenly_spaced_blocks",
+    "make_simulator",
+    "run_full",
+    "run_representative",
+]

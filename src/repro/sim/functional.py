@@ -1,0 +1,676 @@
+"""SIMT functional simulator (the paper's Barra analogue).
+
+Executes native kernels warp by warp with lockstep lanes, producing both
+correct numerical results and the *dynamic* program statistics the
+performance model consumes: warp-level instruction counts by type,
+shared-memory transactions corrected for bank conflicts, and coalesced
+global-memory transactions (paper Fig. 1's "info extractor" inputs).
+
+Execution model:
+
+* lanes of a warp advance under **min-PC reconvergence**: each step, the
+  lanes at the smallest program counter execute together.  This supports
+  uniform and divergent structured control flow (if/else, loops with
+  per-lane trip counts) and reconverges as soon as PCs meet;
+* warps of a block run one synchronization stage at a time; a ``bar``
+  splits stages exactly as the paper divides programs by barriers;
+* every executed warp-instruction appends a compact event (with its
+  register-dependence distance) to the warp's stream so the hardware
+  timing simulator can replay it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.specs import WARP_SIZE, GpuSpec, GTX285
+from repro.errors import DivergenceError, LaunchError, SimulationError
+from repro.isa.instructions import Imm, MemRef, Pred, Reg, Special
+from repro.isa.opcodes import Opcode, OpKind
+from repro.isa.program import Kernel
+from repro.isa.validate import validate_kernel
+from repro.memory.banks import BankConfig, warp_transactions
+from repro.memory.coalescing import TransactionConfig, coalesce_warp
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.trace import (
+    EV_ARITH,
+    EV_ARITH_SHARED,
+    EV_BAR,
+    EV_GLOBAL_LD,
+    EV_GLOBAL_ST,
+    EV_SHARED,
+    BlockTrace,
+    KernelTrace,
+    StageStats,
+    TYPE_INDEX,
+    aggregate_blocks,
+)
+
+# Instructions that count as "actual computation" for the paper's
+# computational-density metric.  Integer MADs are address bookkeeping.
+_MAD_OPS = (Opcode.FMAD, Opcode.DFMA)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch: grid shape, block size, scalar parameters."""
+
+    grid: tuple[int, int]
+    block_threads: int
+    params: dict[str, float] = field(default_factory=dict)
+    granularities: tuple[int, ...] = (32,)
+    record_segments: bool = False
+
+    def __post_init__(self) -> None:
+        gx, gy = self.grid
+        if gx <= 0 or gy <= 0:
+            raise LaunchError("grid dimensions must be positive")
+        if self.block_threads <= 0:
+            raise LaunchError("block must have at least one thread")
+        if not self.granularities:
+            raise LaunchError("at least one coalescing granularity is required")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.block_threads // WARP_SIZE)
+
+    def all_blocks(self) -> list[tuple[int, int]]:
+        gx, gy = self.grid
+        return [(x, y) for y in range(gy) for x in range(gx)]
+
+
+class _Decoded:
+    """Pre-decoded instruction: everything the hot loop needs."""
+
+    __slots__ = (
+        "opcode",
+        "kind",
+        "type_index",
+        "guard",
+        "target",
+        "dst_reg",
+        "dst_pred",
+        "dst_mem",
+        "srcs",
+        "reads",
+        "writes",
+        "preds_read",
+        "cmp",
+        "is_mad",
+        "mnemonic",
+        "type_name",
+    )
+
+    def __init__(self, instr, labels: dict[str, int]) -> None:
+        self.opcode = instr.opcode
+        self.kind = instr.opcode.kind
+        self.type_name = instr.opcode.instr_type
+        self.type_index = TYPE_INDEX[self.type_name]
+        self.mnemonic = instr.opcode.mnemonic
+        self.guard = (
+            (instr.guard[0].index, instr.guard[1]) if instr.guard else None
+        )
+        self.target = labels[instr.target] if instr.target else -1
+        self.dst_reg = instr.dst.index if isinstance(instr.dst, Reg) else -1
+        self.dst_pred = instr.dst.index if isinstance(instr.dst, Pred) else -1
+        self.dst_mem = None
+        if isinstance(instr.dst, MemRef):
+            base = instr.dst.base.index if instr.dst.base else -1
+            self.dst_mem = (instr.dst.space, base, instr.dst.offset)
+        self.srcs = tuple(_decode_operand(s) for s in instr.srcs)
+        self.reads = instr.registers_read()
+        self.writes = instr.registers_written()
+        self.preds_read = tuple(
+            s.index for s in instr.srcs if isinstance(s, Pred)
+        ) + ((instr.guard[0].index,) if instr.guard else ())
+        self.cmp = instr.cmp
+        self.is_mad = instr.opcode in _MAD_OPS
+
+
+def _decode_operand(operand):
+    if isinstance(operand, Reg):
+        return ("reg", operand.index)
+    if isinstance(operand, Imm):
+        return ("imm", float(operand.value))
+    if isinstance(operand, Special):
+        return ("special", operand.name)
+    if isinstance(operand, Pred):
+        return ("pred", operand.index)
+    if isinstance(operand, MemRef):
+        base = operand.base.index if operand.base else -1
+        return ("mem", base, operand.offset)
+    raise SimulationError(f"cannot decode operand {operand!r}")
+
+
+class _WarpState:
+    """Mutable per-warp execution state."""
+
+    __slots__ = (
+        "index",
+        "pc",
+        "exited",
+        "at_barrier",
+        "stream",
+        "reg_producer",
+        "pred_producer",
+        "issued",
+    )
+
+    def __init__(self, index: int, lanes_alive: np.ndarray, num_regs: int, num_preds: int):
+        self.index = index
+        self.pc = np.zeros(WARP_SIZE, dtype=np.int64)
+        self.exited = ~lanes_alive
+        self.at_barrier = False
+        self.stream: list[tuple] = []
+        self.reg_producer = np.full(max(num_regs, 1), -1, dtype=np.int64)
+        self.pred_producer = np.full(max(num_preds, 1), -1, dtype=np.int64)
+        self.issued = 0
+
+    @property
+    def done(self) -> bool:
+        return bool(self.exited.all())
+
+
+_CMP_FUNCS = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+class FunctionalSimulator:
+    """Execute a kernel and collect dynamic statistics.
+
+    Parameters
+    ----------
+    kernel:
+        The native program to run (validated on construction).
+    gmem:
+        Device global memory; host code allocates inputs/outputs here.
+    spec:
+        Architecture parameters (bank count, warp size assumptions).
+    max_warp_instructions:
+        Safety valve against runaway loops.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        gmem: GlobalMemory | None = None,
+        spec: GpuSpec = GTX285,
+        max_warp_instructions: int = 50_000_000,
+    ) -> None:
+        validate_kernel(kernel)
+        self.kernel = kernel
+        self.gmem = gmem if gmem is not None else GlobalMemory()
+        self.spec = spec
+        self.max_warp_instructions = max_warp_instructions
+        self._decoded = [
+            _Decoded(instr, kernel.labels) for instr in kernel.instructions
+        ]
+        self._bank_config = BankConfig(
+            num_banks=spec.sm.shared_memory_banks,
+            bank_width=spec.sm.bank_width_bytes,
+        )
+        self._lane_ids = np.arange(WARP_SIZE, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]] | None = None,
+    ) -> KernelTrace:
+        """Run all blocks (or a sample) and aggregate their statistics.
+
+        When ``blocks`` is a sample, aggregate statistics are scaled to
+        the full grid (representative-block methodology, DESIGN.md).
+        """
+        self._check_launch(launch)
+        chosen = blocks if blocks is not None else launch.all_blocks()
+        if not chosen:
+            raise LaunchError("no blocks selected")
+        traces = [self.run_block(launch, block) for block in chosen]
+        return aggregate_blocks(traces, scale_to_blocks=launch.num_blocks)
+
+    def run_block(
+        self, launch: LaunchConfig, block: tuple[int, int]
+    ) -> BlockTrace:
+        """Execute a single block to completion."""
+        self._check_launch(launch)
+        bx, by = block
+        gx, gy = launch.grid
+        if not (0 <= bx < gx and 0 <= by < gy):
+            raise LaunchError(f"block {block} outside grid {launch.grid}")
+
+        threads = launch.block_threads
+        num_warps = launch.warps_per_block
+        padded = num_warps * WARP_SIZE
+        kernel = self.kernel
+
+        self._R = np.zeros((padded, max(kernel.num_registers, 1)), dtype=np.float64)
+        self._P = np.zeros((padded, max(kernel.num_predicates, 1)), dtype=bool)
+        for name in kernel.params:
+            if name not in launch.params:
+                raise LaunchError(f"missing launch parameter {name!r}")
+            self._R[:, kernel.param_regs[name]] = float(launch.params[name])
+        self._smem = SharedMemory(kernel.shared_memory_words)
+        self._launch = launch
+        self._block = (bx, by)
+        self._specials = {
+            "ntid": float(threads),
+            "ctaid_x": float(bx),
+            "ctaid_y": float(by),
+            "nctaid_x": float(gx),
+            "nctaid_y": float(gy),
+        }
+
+        warps = []
+        for w in range(num_warps):
+            alive = (w * WARP_SIZE + self._lane_ids) < threads
+            warps.append(
+                _WarpState(w, alive, kernel.num_registers, kernel.num_predicates)
+            )
+
+        stages = [StageStats()]
+        self._stage = stages[0]
+        self._stage_warps: set[int] = set()
+
+        while True:
+            for warp in warps:
+                if not warp.done and not warp.at_barrier:
+                    self._run_warp_until_barrier(warp)
+            waiting = [w for w in warps if w.at_barrier]
+            if not waiting:
+                break
+            for warp in waiting:
+                warp.at_barrier = False
+            self._stage.active_warps = len(self._stage_warps)
+            self._stage_warps = set()
+            self._stage = StageStats()
+            stages.append(self._stage)
+
+        self._stage.active_warps = len(self._stage_warps)
+        streams = [warp.stream for warp in warps]
+        return BlockTrace(block=(bx, by), stages=stages, warp_streams=streams)
+
+    # ------------------------------------------------------------------
+    # warp execution
+    # ------------------------------------------------------------------
+    def _check_launch(self, launch: LaunchConfig) -> None:
+        if launch.block_threads > self.spec.sm.max_threads_per_block:
+            raise LaunchError(
+                f"{launch.block_threads} threads/block exceeds the "
+                f"{self.spec.sm.max_threads_per_block} limit"
+            )
+
+    def _run_warp_until_barrier(self, warp: _WarpState) -> None:
+        instructions = self._decoded
+        num_instructions = len(instructions)
+        while True:
+            alive = ~warp.exited
+            if not alive.any():
+                return
+            pcs = warp.pc
+            cur = int(pcs[alive].min())
+            if cur >= num_instructions:
+                raise SimulationError("execution ran past the end of the kernel")
+            mask = alive & (pcs == cur)
+            decoded = instructions[cur]
+            warp.issued += 1
+            if warp.issued > self.max_warp_instructions:
+                raise SimulationError(
+                    "warp exceeded the instruction budget (runaway loop?)"
+                )
+
+            kind = decoded.kind
+            if kind == OpKind.EXIT:
+                warp.exited |= mask
+                continue
+            if kind == OpKind.BARRIER:
+                if not np.array_equal(mask, alive):
+                    raise DivergenceError(
+                        "bar.sync reached by a divergent warp "
+                        f"(warp {warp.index}, pc {cur})"
+                    )
+                self._record_issue(decoded)
+                warp.stream.append((EV_BAR, 0, 0, 0, None))
+                warp.pc[alive] = cur + 1
+                warp.at_barrier = True
+                return
+
+            active = mask
+            if decoded.guard is not None:
+                pidx, want = decoded.guard
+                warp_slice = self._warp_slice(warp)
+                pred_vals = self._P[warp_slice, pidx]
+                active = mask & (pred_vals == want)
+
+            if kind == OpKind.BRANCH:
+                self._record_issue(decoded)
+                self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
+                warp.pc[mask] = cur + 1
+                if active.any():
+                    warp.pc[active] = decoded.target
+                continue
+
+            self._execute(warp, decoded, mask, active)
+            warp.pc[mask] = cur + 1
+
+    def _warp_slice(self, warp: _WarpState) -> slice:
+        base = warp.index * WARP_SIZE
+        return slice(base, base + WARP_SIZE)
+
+    # ------------------------------------------------------------------
+    # instruction execution
+    # ------------------------------------------------------------------
+    def _execute(self, warp, decoded, mask, active) -> None:
+        self._record_issue(decoded)
+        kind = decoded.kind
+        # A warp counts as *active* in a stage once it does real work;
+        # warps that only evaluate a guard and branch around the body do
+        # not raise the stage's warp-level parallelism (this is what
+        # makes CR's late steps run at 1-warp shared bandwidth, Fig. 7a).
+        if kind not in (OpKind.SETP, OpKind.NOP) and bool(active.any()):
+            self._stage_warps.add(warp.index)
+        if kind == OpKind.ARITH or kind == OpKind.SELECT:
+            self._exec_arith(warp, decoded, active)
+        elif kind == OpKind.SETP:
+            self._exec_setp(warp, decoded, active)
+        elif kind == OpKind.LOAD_SHARED:
+            self._exec_shared(warp, decoded, active, is_load=True)
+        elif kind == OpKind.STORE_SHARED:
+            self._exec_shared(warp, decoded, active, is_load=False)
+        elif kind == OpKind.LOAD_GLOBAL:
+            self._exec_global(warp, decoded, active, is_load=True)
+        elif kind == OpKind.STORE_GLOBAL:
+            self._exec_global(warp, decoded, active, is_load=False)
+        elif kind == OpKind.NOP:
+            self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
+        else:  # pragma: no cover - all kinds handled above
+            raise SimulationError(f"unhandled opcode kind {kind}")
+
+    def _fetch(self, warp, operand, active):
+        """Fetch one operand as a 32-lane float64 vector.
+
+        Shared-memory operands also return the bank-transaction counts
+        they generated: (values, actual, ideal)."""
+        tag = operand[0]
+        warp_slice = self._warp_slice(warp)
+        if tag == "reg":
+            return self._R[warp_slice, operand[1]], None
+        if tag == "imm":
+            return np.full(WARP_SIZE, operand[1]), None
+        if tag == "special":
+            name = operand[1]
+            if name == "tid":
+                base = warp.index * WARP_SIZE
+                return (base + self._lane_ids).astype(np.float64), None
+            return np.full(WARP_SIZE, self._specials[name]), None
+        if tag == "mem":
+            base_idx, offset = operand[1], operand[2]
+            addresses = np.full(WARP_SIZE, float(offset))
+            if base_idx >= 0:
+                addresses = addresses + self._R[warp_slice, base_idx]
+            addresses = addresses.astype(np.int64)
+            values = np.zeros(WARP_SIZE)
+            if active.any():
+                if base_idx < 0:
+                    # Broadcast of one static word: one transaction per
+                    # half-warp, never a conflict.
+                    values[active] = self._smem.read(addresses[active])
+                    halves = self._active_halfwarps(active)
+                    txn = (values, halves, halves)
+                else:
+                    values[active] = self._smem.read(addresses[active])
+                    actual, ideal = warp_transactions(
+                        addresses, active, self._bank_config
+                    )
+                    txn = (values, actual, ideal)
+            else:
+                txn = (values, 0, 0)
+            useful = 4 * int(active.sum())
+            self._stage.shared_transactions += txn[1]
+            self._stage.shared_transactions_ideal += txn[2]
+            self._stage.shared_useful_bytes += useful
+            return values, (txn[1], txn[2])
+        raise SimulationError(f"cannot fetch operand {operand!r}")
+
+    @staticmethod
+    def _active_halfwarps(active: np.ndarray) -> int:
+        lo = bool(active[:16].any())
+        hi = bool(active[16:].any())
+        return int(lo) + int(hi)
+
+    def _exec_arith(self, warp, decoded, active) -> None:
+        warp_slice = self._warp_slice(warp)
+        values = []
+        shared_txn = None
+        if decoded.kind == OpKind.SELECT:
+            pidx = decoded.srcs[0][1]
+            pred_vals = self._P[warp_slice, pidx]
+            a, _ = self._fetch(warp, decoded.srcs[1], active)
+            b, _ = self._fetch(warp, decoded.srcs[2], active)
+            result = np.where(pred_vals, a, b)
+        else:
+            for operand in decoded.srcs:
+                value, txn = self._fetch(warp, operand, active)
+                values.append(value)
+                if txn is not None:
+                    shared_txn = txn
+            result = _evaluate(decoded.opcode, values)
+        if decoded.dst_reg >= 0 and active.any():
+            self._R[warp_slice, decoded.dst_reg][active] = result[active]
+        if shared_txn is None:
+            self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
+        else:
+            self._emit_event(
+                warp, decoded, EV_ARITH_SHARED, decoded.type_index, shared_txn[0], None
+            )
+
+    def _exec_setp(self, warp, decoded, active) -> None:
+        warp_slice = self._warp_slice(warp)
+        a, _ = self._fetch(warp, decoded.srcs[0], active)
+        b, _ = self._fetch(warp, decoded.srcs[1], active)
+        result = _CMP_FUNCS[decoded.cmp](a, b)
+        if active.any():
+            self._P[warp_slice, decoded.dst_pred][active] = result[active]
+        self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
+
+    def _shared_addresses(self, warp, base_idx, offset):
+        warp_slice = self._warp_slice(warp)
+        addresses = np.full(WARP_SIZE, float(offset))
+        if base_idx >= 0:
+            addresses = addresses + self._R[warp_slice, base_idx]
+        return addresses.astype(np.int64)
+
+    def _exec_shared(self, warp, decoded, active, is_load: bool) -> None:
+        if is_load:
+            base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
+        else:
+            _, base_idx, offset = decoded.dst_mem[0], decoded.dst_mem[1], decoded.dst_mem[2]
+        addresses = self._shared_addresses(warp, base_idx, offset)
+        warp_slice = self._warp_slice(warp)
+        actual = ideal = 0
+        if active.any():
+            if is_load:
+                values = np.zeros(WARP_SIZE)
+                values[active] = self._smem.read(addresses[active])
+                self._R[warp_slice, decoded.dst_reg][active] = values[active]
+            else:
+                store_vals, _ = self._fetch(warp, decoded.srcs[0], active)
+                self._smem.write(addresses[active], store_vals[active])
+            actual, ideal = warp_transactions(addresses, active, self._bank_config)
+        self._stage.shared_transactions += actual
+        self._stage.shared_transactions_ideal += ideal
+        self._stage.shared_useful_bytes += 4 * int(active.sum())
+        self._emit_event(warp, decoded, EV_SHARED, actual, 0, None)
+
+    def _exec_global(self, warp, decoded, active, is_load: bool) -> None:
+        if is_load:
+            base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
+        else:
+            base_idx, offset = decoded.dst_mem[1], decoded.dst_mem[2]
+        warp_slice = self._warp_slice(warp)
+        addresses = np.full(WARP_SIZE, float(offset))
+        if base_idx >= 0:
+            addresses = addresses + self._R[warp_slice, base_idx]
+        addresses = addresses.astype(np.int64)
+
+        n_active = int(active.sum())
+        stage = self._stage
+        stage.global_requests += 1
+        stage.global_useful_bytes += 4 * n_active
+
+        primary_txns = 0
+        primary_bytes = 0
+        segments = None
+        cacheable = False
+        if n_active:
+            if is_load:
+                values = np.zeros(WARP_SIZE)
+                values[active] = self.gmem.read(addresses[active])
+                self._R[warp_slice, decoded.dst_reg][active] = values[active]
+            else:
+                store_vals, _ = self._fetch(warp, decoded.srcs[0], active)
+                self.gmem.write(addresses[active], store_vals[active])
+
+            first_address = int(addresses[active][0])
+            allocation = self.gmem.allocation_at(first_address)
+            array_name = allocation.name if allocation else "?"
+            cacheable = self.gmem.is_cacheable(first_address)
+            for position, granularity in enumerate(self._launch.granularities):
+                # Granularity 4 is the paper's "ideal" case: each
+                # distinct word is its own transaction (Fig. 11a).
+                config = TransactionConfig(
+                    min_segment=granularity,
+                    max_segment=4 if granularity == 4 else 128,
+                )
+                transactions = coalesce_warp(addresses, active, 4, config)
+                count = len(transactions)
+                nbytes = sum(t.size for t in transactions)
+                stage.global_transactions[granularity] = (
+                    stage.global_transactions.get(granularity, 0) + count
+                )
+                stage.global_bytes[granularity] = (
+                    stage.global_bytes.get(granularity, 0) + nbytes
+                )
+                per_array = stage.global_by_array.setdefault(array_name, {})
+                old = per_array.get(granularity, (0, 0))
+                per_array[granularity] = (old[0] + count, old[1] + nbytes)
+                if position == 0:
+                    primary_txns = count
+                    primary_bytes = nbytes
+                    if self._launch.record_segments:
+                        segments = tuple((t.address, t.size) for t in transactions)
+
+        payload = (cacheable, segments) if segments is not None else None
+        event_kind = EV_GLOBAL_LD if is_load else EV_GLOBAL_ST
+        self._emit_event(
+            warp, decoded, event_kind, primary_txns, primary_bytes, payload
+        )
+
+    # ------------------------------------------------------------------
+    # statistics plumbing
+    # ------------------------------------------------------------------
+    def _record_issue(self, decoded) -> None:
+        stage = self._stage
+        stage.instructions[decoded.mnemonic] += 1
+        stage.instr_by_type[decoded.type_name] += 1
+        if decoded.is_mad:
+            stage.mad_instructions += 1
+
+    def _emit_event(self, warp, decoded, kind, a, b, payload) -> None:
+        event_index = len(warp.stream)
+        producer = -1
+        for reg in decoded.reads:
+            candidate = warp.reg_producer[reg]
+            if candidate > producer:
+                producer = candidate
+        for pred in decoded.preds_read:
+            candidate = warp.pred_producer[pred]
+            if candidate > producer:
+                producer = candidate
+        dep = event_index - producer if producer >= 0 else 0
+        warp.stream.append((kind, dep, a, b, payload))
+        for reg in decoded.writes:
+            warp.reg_producer[reg] = event_index
+        if decoded.dst_pred >= 0:
+            warp.pred_producer[decoded.dst_pred] = event_index
+
+
+def _evaluate(opcode: Opcode, values: list[np.ndarray]) -> np.ndarray:
+    """Apply an arithmetic opcode to lane vectors (float32 semantics)."""
+    with np.errstate(all="ignore"):
+        if opcode is Opcode.MOV:
+            return values[0]
+        if opcode is Opcode.FADD:
+            return _f32(np.float32(values[0]) + np.float32(values[1]))
+        if opcode is Opcode.FMUL:
+            return _f32(np.float32(values[0]) * np.float32(values[1]))
+        if opcode is Opcode.FMAD:
+            return _f32(
+                np.float32(values[0]) * np.float32(values[1]) + np.float32(values[2])
+            )
+        if opcode is Opcode.FNEG:
+            return -values[0]
+        if opcode is Opcode.FMIN:
+            return np.minimum(values[0], values[1])
+        if opcode is Opcode.FMAX:
+            return np.maximum(values[0], values[1])
+        if opcode is Opcode.RCP:
+            return _f32(np.float32(1.0) / np.float32(values[0]))
+        if opcode is Opcode.SIN:
+            return _f32(np.sin(np.float32(values[0])))
+        if opcode is Opcode.COS:
+            return _f32(np.cos(np.float32(values[0])))
+        if opcode is Opcode.LG2:
+            return _f32(np.log2(np.float32(values[0])))
+        if opcode is Opcode.EX2:
+            return _f32(np.exp2(np.float32(values[0])))
+        if opcode is Opcode.RSQRT:
+            return _f32(np.float32(1.0) / np.sqrt(np.float32(values[0])))
+        if opcode is Opcode.DADD:
+            return values[0] + values[1]
+        if opcode is Opcode.DMUL:
+            return values[0] * values[1]
+        if opcode is Opcode.DFMA:
+            return values[0] * values[1] + values[2]
+        ints = [np.asarray(v, dtype=np.float64).astype(np.int64) for v in values]
+        if opcode is Opcode.IADD:
+            return (ints[0] + ints[1]).astype(np.float64)
+        if opcode is Opcode.ISUB:
+            return (ints[0] - ints[1]).astype(np.float64)
+        if opcode is Opcode.IMUL:
+            return (ints[0] * ints[1]).astype(np.float64)
+        if opcode is Opcode.IMAD:
+            return (ints[0] * ints[1] + ints[2]).astype(np.float64)
+        if opcode is Opcode.ISHL:
+            return (ints[0] << ints[1]).astype(np.float64)
+        if opcode is Opcode.ISHR:
+            return (ints[0] >> ints[1]).astype(np.float64)
+        if opcode is Opcode.IAND:
+            return (ints[0] & ints[1]).astype(np.float64)
+        if opcode is Opcode.IOR:
+            return (ints[0] | ints[1]).astype(np.float64)
+        if opcode is Opcode.IXOR:
+            return (ints[0] ^ ints[1]).astype(np.float64)
+        if opcode is Opcode.IMIN:
+            return np.minimum(ints[0], ints[1]).astype(np.float64)
+        if opcode is Opcode.IMAX:
+            return np.maximum(ints[0], ints[1]).astype(np.float64)
+    raise SimulationError(f"no evaluator for opcode {opcode.mnemonic}")
+
+
+def _f32(values: np.ndarray) -> np.ndarray:
+    return np.asarray(values, dtype=np.float32).astype(np.float64)

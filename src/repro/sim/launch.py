@@ -1,0 +1,53 @@
+"""Launch helpers: representative-block simulation of large grids.
+
+Whole-grid functional simulation is exact but costly in Python; the
+kernels studied in the paper are *homogeneous* (every block executes the
+same instruction sequence) or can be covered by a small sample of
+blocks.  These helpers run a sample and scale the aggregate statistics,
+keeping the per-warp event streams of the sampled blocks for the
+hardware timing simulator.
+"""
+
+from __future__ import annotations
+
+from repro.sim.functional import FunctionalSimulator, LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.sim.trace import KernelTrace
+
+
+def run_full(
+    simulator: FunctionalSimulator, launch: LaunchConfig
+) -> KernelTrace:
+    """Execute every block of the grid (exact, used for validation)."""
+    return simulator.run(launch)
+
+
+def run_representative(
+    simulator: FunctionalSimulator,
+    launch: LaunchConfig,
+    sample_blocks: list[tuple[int, int]] | None = None,
+) -> KernelTrace:
+    """Execute a block sample and scale statistics to the full grid.
+
+    By default the single block (0, 0) is simulated.  For heterogeneous
+    grids pass an explicit, representative ``sample_blocks`` list (e.g.
+    evenly spaced blocks for SpMV's data-dependent access patterns).
+    """
+    sample = sample_blocks if sample_blocks is not None else [(0, 0)]
+    return simulator.run(launch, blocks=sample)
+
+
+def evenly_spaced_blocks(
+    launch: LaunchConfig, count: int
+) -> list[tuple[int, int]]:
+    """Pick ``count`` blocks spread uniformly across the grid."""
+    all_blocks = launch.all_blocks()
+    if count >= len(all_blocks):
+        return all_blocks
+    stride = len(all_blocks) / count
+    return [all_blocks[int(i * stride)] for i in range(count)]
+
+
+def make_simulator(kernel, gmem: GlobalMemory | None = None, **kwargs):
+    """Convenience constructor mirroring :class:`FunctionalSimulator`."""
+    return FunctionalSimulator(kernel, gmem=gmem, **kwargs)

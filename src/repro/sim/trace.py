@@ -1,0 +1,203 @@
+"""Dynamic execution traces: what the functional simulator records.
+
+Two views of one execution:
+
+* **Aggregate statistics** (:class:`StageStats`) -- warp-level dynamic
+  instruction counts by type, shared-memory transactions with and
+  without bank conflicts, and global-memory transactions by coalescing
+  granularity and by target array.  This is the "info extractor" input
+  of the paper's workflow (Fig. 1).
+* **Per-warp event streams** -- a compact timeline the hardware timing
+  simulator replays.  Each event carries its register-dependence
+  distance so the timing model can honour real instruction-level
+  parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: Event kinds (first tuple slot).
+EV_ARITH = 0  # (EV_ARITH, dep, type_index, 0, None)
+EV_SHARED = 1  # (EV_SHARED, dep, transactions, 0, None)
+EV_ARITH_SHARED = 2  # (EV_ARITH_SHARED, dep, type_index, transactions, None)
+EV_GLOBAL_LD = 3  # (EV_GLOBAL_LD, dep, n_txn, bytes, segments|None)
+EV_GLOBAL_ST = 4  # (EV_GLOBAL_ST, dep, n_txn, bytes, segments|None)
+EV_BAR = 5  # (EV_BAR, 0, 0, 0, None)
+
+#: Instruction type name -> event type index.
+TYPE_INDEX = {"I": 0, "II": 1, "III": 2, "IV": 3}
+TYPE_NAMES = ("I", "II", "III", "IV")
+
+Event = tuple  # (kind, dep, a, b, payload)
+
+
+def _new_type_counter() -> dict[str, int]:
+    return {name: 0 for name in TYPE_NAMES}
+
+
+@dataclass
+class StageStats:
+    """Aggregate dynamic statistics for one synchronization stage."""
+
+    instructions: Counter = field(default_factory=Counter)  # opcode name -> count
+    instr_by_type: dict[str, int] = field(default_factory=_new_type_counter)
+    mad_instructions: int = 0
+    shared_transactions: int = 0
+    shared_transactions_ideal: int = 0
+    shared_useful_bytes: int = 0
+    global_requests: int = 0
+    global_transactions: dict[int, int] = field(default_factory=dict)  # gran -> n
+    global_bytes: dict[int, int] = field(default_factory=dict)  # gran -> bytes
+    global_useful_bytes: int = 0
+    global_by_array: dict[str, dict[int, tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    active_warps: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instr_by_type.values())
+
+    @property
+    def computational_density(self) -> float:
+        """Fraction of instructions doing actual computation (MAD-style)."""
+        total = self.total_instructions
+        return self.mad_instructions / total if total else 0.0
+
+    @property
+    def bank_conflict_factor(self) -> float:
+        """Shared transactions per conflict-free transaction (>= 1)."""
+        if not self.shared_transactions_ideal:
+            return 1.0
+        return self.shared_transactions / self.shared_transactions_ideal
+
+    def coalescing_efficiency(self, granularity: int = 32) -> float:
+        """Useful global bytes / transferred bytes at a granularity."""
+        transferred = self.global_bytes.get(granularity, 0)
+        if not transferred:
+            return 1.0
+        return self.global_useful_bytes / transferred
+
+    def merge(self, other: "StageStats") -> None:
+        """Accumulate another block's statistics for the same stage."""
+        self.instructions.update(other.instructions)
+        for name, count in other.instr_by_type.items():
+            self.instr_by_type[name] += count
+        self.mad_instructions += other.mad_instructions
+        self.shared_transactions += other.shared_transactions
+        self.shared_transactions_ideal += other.shared_transactions_ideal
+        self.shared_useful_bytes += other.shared_useful_bytes
+        self.global_requests += other.global_requests
+        for gran, count in other.global_transactions.items():
+            self.global_transactions[gran] = (
+                self.global_transactions.get(gran, 0) + count
+            )
+        for gran, nbytes in other.global_bytes.items():
+            self.global_bytes[gran] = self.global_bytes.get(gran, 0) + nbytes
+        self.global_useful_bytes += other.global_useful_bytes
+        for array, per_gran in other.global_by_array.items():
+            mine = self.global_by_array.setdefault(array, {})
+            for gran, (txn, nbytes) in per_gran.items():
+                old_txn, old_bytes = mine.get(gran, (0, 0))
+                mine[gran] = (old_txn + txn, old_bytes + nbytes)
+        self.active_warps = max(self.active_warps, other.active_warps)
+
+    def scaled(self, factor: float) -> "StageStats":
+        """A copy with all extensive quantities multiplied by ``factor``."""
+        out = StageStats()
+        out.instructions = Counter(
+            {k: int(round(v * factor)) for k, v in self.instructions.items()}
+        )
+        out.instr_by_type = {
+            k: int(round(v * factor)) for k, v in self.instr_by_type.items()
+        }
+        out.mad_instructions = int(round(self.mad_instructions * factor))
+        out.shared_transactions = int(round(self.shared_transactions * factor))
+        out.shared_transactions_ideal = int(
+            round(self.shared_transactions_ideal * factor)
+        )
+        out.shared_useful_bytes = int(round(self.shared_useful_bytes * factor))
+        out.global_requests = int(round(self.global_requests * factor))
+        out.global_transactions = {
+            g: int(round(v * factor)) for g, v in self.global_transactions.items()
+        }
+        out.global_bytes = {
+            g: int(round(v * factor)) for g, v in self.global_bytes.items()
+        }
+        out.global_useful_bytes = int(round(self.global_useful_bytes * factor))
+        out.global_by_array = {
+            array: {
+                g: (int(round(t * factor)), int(round(b * factor)))
+                for g, (t, b) in per_gran.items()
+            }
+            for array, per_gran in self.global_by_array.items()
+        }
+        out.active_warps = self.active_warps
+        return out
+
+
+@dataclass
+class BlockTrace:
+    """Everything recorded while simulating one block."""
+
+    block: tuple[int, int]
+    stages: list[StageStats]
+    warp_streams: list[list[Event]]
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warp_streams)
+
+    @property
+    def totals(self) -> StageStats:
+        total = StageStats()
+        for stage in self.stages:
+            total.merge(stage)
+        return total
+
+
+@dataclass
+class KernelTrace:
+    """Aggregated dynamic statistics for a whole launch."""
+
+    stages: list[StageStats]
+    num_blocks: int
+    block_traces: list[BlockTrace] = field(default_factory=list)
+
+    @property
+    def totals(self) -> StageStats:
+        total = StageStats()
+        for stage in self.stages:
+            total.merge(stage)
+        return total
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+def aggregate_blocks(
+    block_traces: list[BlockTrace], scale_to_blocks: int | None = None
+) -> KernelTrace:
+    """Combine per-block traces; optionally scale a sample to a full grid.
+
+    Stage ``i`` of every block contributes to stage ``i`` of the result
+    (stages are synchronization intervals, which line up across blocks
+    for the homogeneous kernels studied here).
+    """
+    num_stages = max((len(t.stages) for t in block_traces), default=0)
+    stages = [StageStats() for _ in range(num_stages)]
+    for trace in block_traces:
+        for i, stage in enumerate(trace.stages):
+            stages[i].merge(stage)
+    simulated = len(block_traces)
+    total = scale_to_blocks if scale_to_blocks is not None else simulated
+    if total != simulated and simulated > 0:
+        factor = total / simulated
+        scaled = [s.scaled(factor) for s in stages]
+        for fresh, original in zip(scaled, stages):
+            fresh.active_warps = original.active_warps
+        stages = scaled
+    return KernelTrace(stages=stages, num_blocks=total, block_traces=block_traces)

@@ -1,0 +1,122 @@
+"""Dense matrix multiply: numerics, Table 2 resources, Fig. 4a counts."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    BLOCK_THREADS,
+    build_matmul_kernel,
+    gflops,
+    prepare_problem,
+    run_matmul,
+    validate_matmul,
+)
+from repro.arch import GTX285, KernelResources, compute_occupancy
+from repro.errors import LaunchError
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("tile", [8, 16, 32])
+    def test_small_matrix_correct(self, tile):
+        assert validate_matmul(64, tile) < 1e-4
+
+    def test_rectangular_grid(self):
+        assert validate_matmul(128, 32, seed=1) < 1e-4
+
+    def test_result_reshapes_column_major(self):
+        problem = prepare_problem(64, 16, seed=5)
+        ref = problem.reference()
+        assert ref.shape == (64, 64)
+
+
+class TestKernelShape:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(LaunchError):
+            build_matmul_kernel(100, 16)
+        with pytest.raises(LaunchError):
+            build_matmul_kernel(128, 48)
+
+    def test_block_is_64_threads(self):
+        problem = prepare_problem(128, 16)
+        assert problem.launch().block_threads == BLOCK_THREADS
+
+    def test_grid_shape(self):
+        problem = prepare_problem(128, 16)
+        assert problem.launch().grid == (2, 8)
+
+    def test_register_counts_match_table2(self):
+        # NVCC reported 30 and 58 registers (paper Table 2).
+        assert build_matmul_kernel(1024, 16).num_registers == 30
+        assert build_matmul_kernel(1024, 32).num_registers == 58
+
+    def test_shared_footprint_matches_table2_ceilings(self):
+        for tile, expected_blocks in ((8, 8), (16, 8), (32, 3)):
+            kernel = build_matmul_kernel(1024, tile)
+            occ = compute_occupancy(
+                GTX285,
+                KernelResources(64, kernel.num_registers, kernel.shared_memory_bytes),
+            )
+            assert occ.blocks_per_sm == expected_blocks
+
+    def test_warps_match_table2(self):
+        for tile, warps in ((8, 16), (16, 16), (32, 6)):
+            kernel = build_matmul_kernel(1024, tile)
+            occ = compute_occupancy(
+                GTX285,
+                KernelResources(64, kernel.num_registers, kernel.shared_memory_bytes),
+            )
+            assert occ.warps_per_sm == warps
+
+
+class TestDynamicCounts:
+    """Fig. 4(a) at a reduced size (n=256; counts scale as n^3/32)."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            tile: run_matmul(256, tile, measure=False) for tile in (8, 16, 32)
+        }
+
+    def test_mad_count_is_n_cubed_over_warpsize(self, runs):
+        expected = 256**3 / 32
+        for run in runs.values():
+            assert run.trace.totals.mad_instructions == pytest.approx(
+                expected, rel=0.001
+            )
+
+    def test_total_instructions_decrease_with_tile(self, runs):
+        totals = [runs[t].trace.totals.total_instructions for t in (8, 16, 32)]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_global_transactions_drop_roughly_in_half(self, runs):
+        txns = [runs[t].trace.totals.global_transactions[32] for t in (8, 16, 32)]
+        assert txns[1] / txns[0] == pytest.approx(0.55, abs=0.08)  # paper: -45%
+        assert txns[2] / txns[1] == pytest.approx(0.60, abs=0.08)  # paper: -40%
+
+    def test_shared_transactions_roughly_constant(self, runs):
+        shared = [runs[t].trace.totals.shared_transactions for t in (8, 16, 32)]
+        assert max(shared) / min(shared) < 1.05  # paper: 34.4M vs 34.2M
+
+    def test_density_rises_with_tile_size(self, runs):
+        densities = [
+            runs[t].trace.totals.computational_density for t in (8, 16, 32)
+        ]
+        assert densities[0] < densities[1] < densities[2]
+        assert densities[1] == pytest.approx(0.80, abs=0.07)  # paper: "80%"
+
+    def test_no_bank_conflicts(self, runs):
+        for run in runs.values():
+            assert run.trace.totals.bank_conflict_factor == pytest.approx(
+                1.0, abs=0.01
+            )
+
+    def test_fully_coalesced(self, runs):
+        for run in runs.values():
+            assert run.trace.totals.coalescing_efficiency(32) == pytest.approx(
+                1.0, abs=0.01
+            )
+
+
+class TestHelpers:
+    def test_gflops(self):
+        assert gflops(1024, 1e-3) == pytest.approx(2 * 1024**3 / 1e-3 / 1e9)

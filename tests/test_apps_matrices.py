@@ -1,0 +1,109 @@
+"""Sparse matrix generators: QCD-like structure and references."""
+
+import numpy as np
+import pytest
+
+import scipy.sparse as sp
+
+from repro.apps.matrices import BlockSparseMatrix, qcd_like, random_blocked
+from repro.errors import ModelError
+
+
+class TestQcdLike:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return qcd_like(dims=(4, 4, 4, 4))
+
+    def test_published_shape_at_full_size(self):
+        # Shape check without building the 49k matrix's values twice.
+        matrix = qcd_like()
+        assert matrix.n == 49152
+        assert matrix.block_rows == 16384
+        assert matrix.slots == 13
+        assert matrix.nnz == 1916928  # the published QCD nnz
+
+    def test_small_lattice_structure(self, small):
+        assert small.block_rows == 256
+        assert small.slots == 13
+
+    def test_diagonal_present(self, small):
+        for i in range(small.block_rows):
+            assert i in small.block_cols[i]
+
+    def test_columns_sorted(self, small):
+        for row in small.block_cols:
+            assert list(row) == sorted(row)
+
+    def test_columns_unique_on_large_enough_lattice(self):
+        # +-2 offsets alias on length-4 dimensions (periodic), so
+        # uniqueness needs dims[0:2] > 4, as in the full-size matrix.
+        matrix = qcd_like(dims=(6, 6, 4, 4))
+        for row in matrix.block_cols:
+            assert len(set(row)) == len(row)
+
+    def test_symmetric_pattern(self, small):
+        # Periodic-lattice neighbours are mutual.
+        pattern = {(i, int(c)) for i in range(small.block_rows) for c in small.block_cols[i]}
+        assert all((j, i) in pattern for i, j in pattern)
+
+    def test_multiply_against_scipy(self, small):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, small.n)
+        values, columns = small.to_ell()
+        rows = np.repeat(np.arange(small.n), values.shape[1])
+        coo = sp.coo_matrix(
+            (values.ravel(), (rows, columns.ravel())),
+            shape=(small.n, small.n),
+        )
+        assert np.allclose(small.multiply(x), coo @ x, atol=1e-9)
+
+
+class TestEllConversion:
+    def test_ell_width(self):
+        matrix = random_blocked(16, 4, seed=1)
+        values, columns = matrix.to_ell()
+        assert values.shape == (48, 12)
+        assert columns.shape == (48, 12)
+
+    def test_rows_of_a_block_share_block_columns(self):
+        matrix = random_blocked(16, 4, seed=1)
+        _, columns = matrix.to_ell()
+        for br in range(4):
+            triplet = columns[3 * br : 3 * br + 3]
+            assert (triplet // 3 == triplet[0] // 3).all()
+
+    def test_ell_multiply_matches_block_multiply(self):
+        matrix = random_blocked(12, 3, seed=2)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, matrix.n)
+        values, columns = matrix.to_ell()
+        y = (values * x[columns]).sum(axis=1)
+        assert np.allclose(y, matrix.multiply(x), atol=1e-9)
+
+
+class TestRandomBlocked:
+    def test_banded_locality(self):
+        matrix = random_blocked(64, 5, bandwidth=6, seed=3)
+        for i, row in enumerate(matrix.block_cols):
+            assert all(abs(int(c) - i) <= 6 for c in row)
+
+    def test_degree_uniform(self):
+        matrix = random_blocked(32, 7, seed=4)
+        assert matrix.block_cols.shape == (32, 7)
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(ModelError):
+            random_blocked(4, 10)
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ModelError):
+            BlockSparseMatrix(
+                3,
+                np.zeros((4, 2), dtype=np.int64),
+                np.zeros((4, 2, 2, 2)),
+            )
+
+    def test_validation_rejects_out_of_range_columns(self):
+        cols = np.array([[0, 9]], dtype=np.int64)
+        with pytest.raises(ModelError):
+            BlockSparseMatrix(3, cols, np.zeros((1, 2, 3, 3)))

@@ -1,0 +1,141 @@
+"""SpMV: numerics for all formats, interleaving effects, Fig. 11 data."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matrices import qcd_like, random_blocked
+from repro.apps.spmv import (
+    FORMATS,
+    build_bell_kernel,
+    build_ell_kernel,
+    bytes_per_entry,
+    gflops,
+    prepare_problem,
+    run_spmv,
+    validate_spmv,
+)
+from repro.errors import LaunchError
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return random_blocked(64, 5, bandwidth=8, seed=6)  # 192 x 192
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return qcd_like(dims=(4, 4, 4, 4))  # 768 x 768, 13 slots
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_small_matrix_correct(self, small_matrix, fmt):
+        assert validate_spmv(small_matrix, fmt) < 1e-4
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_lattice_matrix_correct(self, lattice, fmt):
+        assert validate_spmv(lattice, fmt) < 1e-4
+
+    def test_formats_agree(self, small_matrix):
+        outs = {}
+        for fmt in FORMATS:
+            problem = prepare_problem(small_matrix, fmt, seed=21)
+            from repro.apps.spmv import build_kernel_for
+            from repro.apps.common import execute
+
+            execute(
+                "x",
+                build_kernel_for(problem),
+                problem.gmem,
+                problem.launch(record_segments=False),
+                measure=False,
+            )
+            outs[fmt] = problem.result()
+        assert np.allclose(outs["ell"], outs["bell_im"], atol=1e-5)
+        assert np.allclose(outs["ell"], outs["bell_imiv"], atol=1e-5)
+
+
+class TestKernels:
+    def test_bad_width_rejected(self):
+        with pytest.raises(LaunchError):
+            build_ell_kernel(0, 64)
+        with pytest.raises(LaunchError):
+            build_bell_kernel(0, 64, False)
+
+    def test_unknown_format_rejected(self, small_matrix):
+        with pytest.raises(LaunchError):
+            prepare_problem(small_matrix, "csr")
+
+    def test_bell_has_one_index_load_per_block(self, lattice):
+        run = run_spmv(lattice, "bell_im", measure=False, sample_blocks=4)
+        totals = run.trace.totals
+        ldg_per_thread = totals.instructions["ldg"] / (
+            run.launch.num_blocks * 2
+        )  # warp-level, 2 warps per block
+        # 13 slots x (1 col + 9 vals + 3 x) = 169 loads per thread
+        assert ldg_per_thread == pytest.approx(169, rel=0.02)
+
+    def test_ell_three_loads_per_entry(self, lattice):
+        run = run_spmv(lattice, "ell", measure=False, sample_blocks=4)
+        loads = run.trace.totals.instructions["ldg"]
+        warps = run.launch.num_blocks * 2
+        assert loads / warps == pytest.approx(3 * 39, rel=0.02)
+
+
+class TestTrafficShape:
+    """Fig. 11(a): bytes per matrix entry by array and granularity."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, lattice):
+        return {
+            fmt: run_spmv(lattice, fmt, measure=False, sample_blocks=6)
+            for fmt in FORMATS
+        }
+
+    def test_matrix_entries_fully_coalesced(self, runs, lattice):
+        for fmt in FORMATS:
+            bpe = bytes_per_entry(runs[fmt], lattice)
+            assert bpe["vals"][32] == pytest.approx(4.0, rel=0.02)
+
+    def test_column_index_bytes(self, runs, lattice):
+        ell = bytes_per_entry(runs["ell"], lattice)
+        bell = bytes_per_entry(runs["bell_im"], lattice)
+        assert ell["cols"][32] == pytest.approx(4.0, rel=0.02)
+        assert bell["cols"][32] == pytest.approx(4.0 / 9.0, rel=0.05)  # 0.44
+
+    def test_vector_interleaving_reduces_bytes(self, runs, lattice):
+        by_fmt = {
+            fmt: bytes_per_entry(runs[fmt], lattice)["x"][32] for fmt in FORMATS
+        }
+        assert by_fmt["bell_imiv"] < by_fmt["bell_im"] <= by_fmt["ell"] * 1.05
+
+    def test_finer_granularity_never_worse(self, runs, lattice):
+        for fmt in FORMATS:
+            x = bytes_per_entry(runs[fmt], lattice)["x"]
+            assert x[4] <= x[16] + 1e-9 <= x[32] + 1e-9
+
+    def test_imiv_approaches_perfect_sharing(self, runs, lattice):
+        # Three rows share each block's vector words (4/3 bytes/entry,
+        # the paper's 1.33); cross-thread sharing can push lower still.
+        x = bytes_per_entry(runs["bell_imiv"], lattice)["x"]
+        assert 0.4 < x[4] <= 4.0 / 3.0 + 0.05
+
+
+class TestOutputLayouts:
+    def test_imiv_vector_prepared_interleaved(self, small_matrix):
+        problem = prepare_problem(small_matrix, "bell_imiv", seed=3)
+        from repro.memory import interleave
+
+        stored = problem.gmem.read_array(
+            int(problem.params["x"]), small_matrix.n
+        )
+        assert np.allclose(stored, interleave(problem.x, 3))
+
+    def test_gflops_helper(self, small_matrix):
+        assert gflops(small_matrix, 1.0) == pytest.approx(
+            2 * small_matrix.nnz / 1e9
+        )
+
+    def test_x_marked_cacheable(self, small_matrix):
+        problem = prepare_problem(small_matrix, "ell")
+        assert problem.gmem.is_cacheable(int(problem.params["x"]))

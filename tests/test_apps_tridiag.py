@@ -1,0 +1,128 @@
+"""Tridiagonal solver: numerics, conflict patterns, stage structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tridiag import (
+    build_cr_kernel,
+    forward_stage_count,
+    prepare_problem,
+    run_cr,
+    thomas_solve,
+    validate_cr,
+)
+from repro.arch import GTX285, KernelResources, compute_occupancy
+from repro.errors import LaunchError
+
+
+class TestThomasReference:
+    def test_against_numpy_solve(self):
+        rng = np.random.default_rng(3)
+        n = 32
+        sub = rng.uniform(-1, 1, n)
+        sup = rng.uniform(-1, 1, n)
+        sub[0] = sup[-1] = 0
+        main = 4 + rng.uniform(0, 1, n)
+        rhs = rng.uniform(-1, 1, n)
+        full = np.diag(main) + np.diag(sub[1:], -1) + np.diag(sup[:-1], 1)
+        expected = np.linalg.solve(full, rhs)
+        got = thomas_solve(sub, main, sup, rhs)
+        assert np.allclose(got, expected, atol=1e-10)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("n", [8, 64, 256])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_cr_solves_systems(self, n, padded):
+        assert validate_cr(n, num_systems=3, padded=padded) < 1e-4
+
+    def test_padded_matches_unpadded(self):
+        a = validate_cr(128, 2, padded=False, seed=17)
+        b = validate_cr(128, 2, padded=True, seed=17)
+        assert a == pytest.approx(b, abs=1e-7)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(LaunchError):
+            build_cr_kernel(100)
+
+
+class TestResources:
+    def test_one_block_per_sm_via_shared_memory(self):
+        # "Due to the limited amount of shared memory, we can only fit
+        # one block per multiprocessor" (paper Section 5.2).
+        kernel = build_cr_kernel(512)
+        occ = compute_occupancy(
+            GTX285,
+            KernelResources(256, kernel.num_registers, kernel.shared_memory_bytes),
+        )
+        assert occ.blocks_per_sm == 1
+
+    def test_block_is_eight_warps(self):
+        problem = prepare_problem(512, 4)
+        assert problem.launch().block_threads == 256
+
+    def test_padded_footprint_larger(self):
+        assert (
+            build_cr_kernel(512, padded=True).shared_memory_bytes
+            > build_cr_kernel(512, padded=False).shared_memory_bytes
+        )
+
+
+class TestDynamicBehaviour:
+    @pytest.fixture(scope="class")
+    def cr_run(self):
+        return run_cr(512, 8, padded=False, measure=False)
+
+    @pytest.fixture(scope="class")
+    def nbc_run(self):
+        return run_cr(512, 8, padded=True, measure=False)
+
+    def test_stage_count(self, cr_run):
+        # load + 9 forward + solve + 9 backward + store-merged tail
+        assert cr_run.trace.num_stages == 21
+
+    def test_forward_active_warps_halve(self, cr_run):
+        warps = [s.active_warps for s in cr_run.trace.stages[:10]]
+        assert warps == [8, 8, 4, 2, 1, 1, 1, 1, 1, 1]
+
+    def test_conflict_degrees_double_per_step(self, cr_run):
+        # Fig. 7b: transactions constant while conflicts double, until
+        # the 16-bank ceiling; conflict-free counts halve each step.
+        stages = cr_run.trace.stages
+        factors = [
+            stages[k].shared_transactions / stages[k].shared_transactions_ideal
+            for k in (1, 2, 3)
+        ]
+        assert factors == [2.0, 4.0, 8.0]
+
+    def test_transactions_constant_with_conflicts(self, cr_run):
+        stages = cr_run.trace.stages
+        values = [stages[k].shared_transactions for k in (1, 2, 3)]
+        assert max(values) == min(values)
+
+    def test_ideal_transactions_halve(self, cr_run):
+        stages = cr_run.trace.stages
+        values = [stages[k].shared_transactions_ideal for k in (1, 2, 3, 4)]
+        for a, b in zip(values, values[1:]):
+            assert b == a // 2
+
+    def test_padding_removes_most_conflicts(self, cr_run, nbc_run):
+        assert cr_run.trace.totals.bank_conflict_factor > 3.0
+        assert nbc_run.trace.totals.bank_conflict_factor < 1.4
+
+    def test_padding_adds_modest_instruction_overhead(self, cr_run, nbc_run):
+        # "CR-NBC has a similar instruction count to CR."
+        ratio = (
+            nbc_run.trace.totals.total_instructions
+            / cr_run.trace.totals.total_instructions
+        )
+        assert 1.0 < ratio < 1.25
+
+    def test_global_traffic_identical(self, cr_run, nbc_run):
+        assert (
+            cr_run.trace.totals.global_useful_bytes
+            == nbc_run.trace.totals.global_useful_bytes
+        )
+
+    def test_forward_stage_count_helper(self):
+        assert forward_stage_count(512) == 10

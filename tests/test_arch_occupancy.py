@@ -1,0 +1,156 @@
+"""Occupancy calculator: Table 2 and resource-ceiling properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import GTX285, KernelResources, compute_occupancy, warps_per_sm
+from repro.errors import OccupancyError
+
+
+class TestTable2:
+    """The paper's Table 2: matrix-multiply occupancy per tile size."""
+
+    def test_8x8_paper_row(self):
+        occ = compute_occupancy(GTX285, KernelResources(64, 16, 348))
+        assert occ.blocks_by_registers == 16
+        assert occ.blocks_by_shared_memory == 47
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 16
+
+    def test_16x16_paper_row(self):
+        occ = compute_occupancy(GTX285, KernelResources(64, 30, 1088))
+        assert occ.blocks_by_registers == 8
+        assert occ.blocks_by_shared_memory == 15
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 16
+
+    def test_32x32_paper_row(self):
+        occ = compute_occupancy(GTX285, KernelResources(64, 58, 4284))
+        assert occ.blocks_by_shared_memory == 3
+        assert occ.blocks_per_sm == 3
+        assert occ.warps_per_sm == 6
+
+    def test_32x32_register_ceiling_documented_delta(self):
+        # Paper prints 3 by registers; plain floor division gives 4.
+        # The binding minimum (3, via shared memory) is unaffected.
+        occ = compute_occupancy(GTX285, KernelResources(64, 58, 4284))
+        assert occ.blocks_by_registers == 4
+        assert occ.limiters == ("shared_memory",)
+
+
+class TestCeilings:
+    def test_block_limit_binds_small_kernels(self):
+        occ = compute_occupancy(GTX285, KernelResources(32, 4, 0))
+        assert occ.blocks_per_sm == 8
+        assert "block_limit" in occ.limiters
+
+    def test_warp_ceiling(self):
+        # 512-thread blocks = 16 warps; 32-warp ceiling allows 2 blocks.
+        occ = compute_occupancy(GTX285, KernelResources(512, 4, 0))
+        assert occ.blocks_by_warps == 2
+        assert occ.blocks_per_sm == 2
+
+    def test_cr_like_kernel_single_block(self):
+        # The paper's CR: ~10 KB shared forces one block per SM.
+        occ = compute_occupancy(GTX285, KernelResources(256, 34, 10324))
+        assert occ.blocks_per_sm == 1
+
+    def test_threads_per_sm(self):
+        occ = compute_occupancy(GTX285, KernelResources(64, 16, 348))
+        assert occ.threads_per_sm == occ.warps_per_sm * 32
+
+    def test_warps_per_block_rounds_up(self):
+        assert KernelResources(33).warps_per_block == 2
+        assert KernelResources(32).warps_per_block == 1
+
+    def test_zero_resources_hit_block_limit(self):
+        occ = compute_occupancy(GTX285, KernelResources(64))
+        assert occ.blocks_per_sm == GTX285.sm.max_blocks
+
+    def test_warps_per_sm_helper(self):
+        assert warps_per_sm(GTX285, KernelResources(64, 30, 1088)) == 16
+
+
+class TestErrors:
+    def test_oversized_block_rejected(self):
+        with pytest.raises(OccupancyError):
+            compute_occupancy(GTX285, KernelResources(1024))
+
+    def test_register_file_overflow_rejected(self):
+        with pytest.raises(OccupancyError):
+            compute_occupancy(GTX285, KernelResources(512, 64, 0))
+
+    def test_shared_overflow_rejected(self):
+        with pytest.raises(OccupancyError):
+            compute_occupancy(GTX285, KernelResources(64, 4, 20000))
+
+    def test_bad_thread_count(self):
+        with pytest.raises(OccupancyError):
+            KernelResources(0)
+
+    def test_negative_registers(self):
+        with pytest.raises(OccupancyError):
+            KernelResources(64, -1)
+
+
+@st.composite
+def feasible_resources(draw):
+    threads = draw(st.integers(1, 512))
+    max_regs = GTX285.sm.registers // threads
+    regs = draw(st.integers(0, min(max_regs, 124)))
+    smem = draw(st.integers(0, GTX285.sm.shared_memory_bytes))
+    return KernelResources(threads, regs, smem)
+
+
+class TestProperties:
+    @given(feasible_resources())
+    @settings(max_examples=80, deadline=None)
+    def test_occupancy_within_hardware_ceilings(self, resources):
+        try:
+            occ = compute_occupancy(GTX285, resources)
+        except OccupancyError:
+            return
+        assert 1 <= occ.blocks_per_sm <= GTX285.sm.max_blocks
+        assert occ.warps_per_sm <= GTX285.sm.max_warps
+        used_regs = (
+            occ.blocks_per_sm
+            * resources.registers_per_thread
+            * resources.threads_per_block
+        )
+        assert used_regs <= GTX285.sm.registers
+        used_smem = occ.blocks_per_sm * resources.shared_memory_per_block
+        assert used_smem <= GTX285.sm.shared_memory_bytes
+
+    @given(feasible_resources(), st.integers(1, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_more_registers_never_increase_occupancy(self, resources, extra):
+        try:
+            base = compute_occupancy(GTX285, resources)
+            bigger = compute_occupancy(
+                GTX285,
+                KernelResources(
+                    resources.threads_per_block,
+                    resources.registers_per_thread + extra,
+                    resources.shared_memory_per_block,
+                ),
+            )
+        except OccupancyError:
+            return
+        assert bigger.blocks_per_sm <= base.blocks_per_sm
+
+    @given(feasible_resources())
+    @settings(max_examples=60, deadline=None)
+    def test_limiters_name_the_binding_minimum(self, resources):
+        try:
+            occ = compute_occupancy(GTX285, resources)
+        except OccupancyError:
+            return
+        assert occ.limiters
+        ceilings = {
+            "registers": occ.blocks_by_registers,
+            "shared_memory": occ.blocks_by_shared_memory,
+            "warps": occ.blocks_by_warps,
+            "block_limit": occ.blocks_by_block_limit,
+        }
+        for name in occ.limiters:
+            assert ceilings[name] == occ.blocks_per_sm

@@ -1,0 +1,139 @@
+"""Architecture specs: the paper's published GTX 285 numbers."""
+
+import pytest
+
+from repro.arch import GTX285, GpuSpec, MemorySpec, SmSpec, WARP_SIZE, HALF_WARP
+from repro.errors import SpecError
+
+
+class TestConstants:
+    def test_warp_size(self):
+        assert WARP_SIZE == 32
+
+    def test_half_warp(self):
+        assert HALF_WARP == 16
+
+
+class TestGtx285:
+    def test_sm_count(self):
+        assert GTX285.num_sms == 30
+
+    def test_core_clock(self):
+        assert GTX285.core_clock_ghz == pytest.approx(1.48)
+
+    def test_sms_per_cluster(self):
+        # "the 3 SMs in a cluster share a single memory pipeline"
+        assert GTX285.sms_per_cluster == 3
+
+    def test_cluster_count(self):
+        assert GTX285.memory.num_clusters == 10
+
+    def test_registers_per_sm(self):
+        assert GTX285.sm.registers == 16384
+
+    def test_shared_memory_per_sm(self):
+        assert GTX285.sm.shared_memory_bytes == 16384
+
+    def test_resource_ceilings(self):
+        assert GTX285.sm.max_threads_per_block == 512
+        assert GTX285.sm.max_blocks == 8
+        assert GTX285.sm.max_warps == 32
+
+    def test_shared_banks(self):
+        assert GTX285.sm.shared_memory_banks == 16
+
+    def test_functional_units_table1(self):
+        assert GTX285.units_for_type("I") == 10
+        assert GTX285.units_for_type("II") == 8
+        assert GTX285.units_for_type("III") == 4
+        assert GTX285.units_for_type("IV") == 1
+
+
+class TestDerivedPeaks:
+    def test_mad_throughput_paper_value(self):
+        # 8 * 1.48 GHz * 30 / 32 = 11.1 Giga instructions/s
+        assert GTX285.peak_instruction_throughput("II") / 1e9 == pytest.approx(
+            11.1, abs=0.01
+        )
+
+    def test_peak_gflops_paper_value(self):
+        # 11.1 * 32 * 2 = 710.4 GFLOPS
+        assert GTX285.peak_gflops == pytest.approx(710.4, abs=0.5)
+
+    def test_peak_shared_bandwidth_paper_value(self):
+        # 1.48 GHz * 8 * 30 * 4 B = 1420.8 GB/s
+        assert GTX285.peak_shared_bandwidth / 1e9 == pytest.approx(1420.8, abs=1)
+
+    def test_peak_global_bandwidth_paper_value(self):
+        # 2.484 GHz * 512 bits / 8 = 158.98 GB/s ("160 GB/s")
+        assert GTX285.peak_global_bandwidth / 1e9 == pytest.approx(158.98, abs=0.1)
+
+    def test_type_i_throughput_exceeds_type_ii(self):
+        assert GTX285.peak_instruction_throughput(
+            "I"
+        ) > GTX285.peak_instruction_throughput("II")
+
+    def test_type_iv_is_slowest(self):
+        rates = [GTX285.peak_instruction_throughput(t) for t in "I II III IV".split()]
+        assert min(rates) == GTX285.peak_instruction_throughput("IV")
+
+    def test_shared_bytes_per_cycle_per_sm(self):
+        assert GTX285.shared_bytes_per_cycle_per_sm == 32
+
+    def test_global_bytes_per_cycle(self):
+        assert GTX285.global_bytes_per_cycle == pytest.approx(107.4, abs=0.5)
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpecError):
+            GTX285.units_for_type("V")
+
+    def test_negative_sms_rejected(self):
+        with pytest.raises(SpecError):
+            GpuSpec(num_sms=-1)
+
+    def test_sms_must_divide_into_clusters(self):
+        with pytest.raises(SpecError):
+            GpuSpec(num_sms=31)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(SpecError):
+            GpuSpec(core_clock_ghz=0)
+
+    def test_bad_sm_spec(self):
+        with pytest.raises(SpecError):
+            SmSpec(num_sps=0)
+
+    def test_bad_dram_efficiency(self):
+        with pytest.raises(SpecError):
+            MemorySpec(dram_efficiency=1.5)
+
+    def test_bad_bus_width(self):
+        with pytest.raises(SpecError):
+            MemorySpec(bus_width_bits=100)
+
+    def test_missing_functional_units(self):
+        with pytest.raises(SpecError):
+            GpuSpec(functional_units={"I": 10})
+
+    def test_segment_order(self):
+        with pytest.raises(SpecError):
+            MemorySpec(min_segment_bytes=256, max_segment_bytes=128)
+
+
+class TestWhatIfCopies:
+    def test_with_sm_changes_only_target_field(self):
+        bigger = GTX285.with_sm(max_blocks=16)
+        assert bigger.sm.max_blocks == 16
+        assert bigger.sm.registers == GTX285.sm.registers
+        assert GTX285.sm.max_blocks == 8  # original untouched
+
+    def test_with_memory_changes_only_target_field(self):
+        fast = GTX285.with_memory(dram_efficiency=1.0)
+        assert fast.memory.dram_efficiency == 1.0
+        assert fast.memory.bus_width_bits == GTX285.memory.bus_width_bits
+
+    def test_scaled_register_file_raises_peak_nothing(self):
+        bigger = GTX285.with_sm(registers=32768)
+        assert bigger.peak_gflops == GTX285.peak_gflops

@@ -1,0 +1,46 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_matmul_defaults(self):
+        args = build_parser().parse_args(["matmul"])
+        assert args.n == 512
+        assert args.tile == 16
+
+    def test_tile_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matmul", "--tile", "24"])
+
+    def test_spmv_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spmv", "--format", "csr"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info_prints_paper_numbers(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "710.4 GFLOPS" in out
+        assert "1420.8 GB/s" in out
+        assert "GeForce GTX 285" in out
+
+    def test_calibrate_saves_json(self, tmp_path, capsys):
+        out = tmp_path / "cal.json"
+        assert main(["calibrate", "-o", str(out), "--iterations", "10"]) == 0
+        assert out.exists()
+        from repro.micro import CalibrationTables
+
+        tables = CalibrationTables.load(out)
+        assert tables.instruction.saturated("II") > 0

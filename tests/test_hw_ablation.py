@@ -1,0 +1,122 @@
+"""Ablations of the hardware model's design choices (DESIGN.md §5).
+
+These pin down *why* each timing mechanism exists by showing what
+breaks without it -- the reproduction's equivalent of the paper's
+modelling-methodology discussion.
+"""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import ClusterSimulator, HardwareGpu, HwConfig
+from repro.hw.config import issue_intervals
+from repro.arch import GTX285
+from repro.sim.trace import EV_ARITH, EV_ARITH_SHARED, EV_SHARED
+
+
+def arith_chain(n, dep=1):
+    return [(EV_ARITH, dep, 1, 0, None)] * n
+
+
+def shared_events(n, ntrans, dep=0):
+    return [(EV_SHARED, dep, ntrans, 0, None)] * n
+
+
+def cycles(stream, warps=1, config=None):
+    sim = ClusterSimulator(config=config or HwConfig())
+    return sim.run([[[stream] * warps]], 1).cycles
+
+
+class TestHwConfigValidation:
+    def test_bad_issue_gap(self):
+        with pytest.raises(HardwareModelError):
+            HwConfig(issue_gap=0)
+
+    def test_bad_window(self):
+        with pytest.raises(HardwareModelError):
+            HwConfig(ilp_window=0)
+
+    def test_bad_latency_tuple(self):
+        with pytest.raises(HardwareModelError):
+            HwConfig(arith_latency=(1.0, 2.0))
+
+    def test_bad_cache_line(self):
+        with pytest.raises(HardwareModelError):
+            HwConfig(texcache_line=24)
+
+    def test_issue_intervals_from_table1(self):
+        intervals = issue_intervals(GTX285)
+        assert intervals == (3.2, 4.0, 8.0, 32.0)
+
+
+class TestArithInOrder:
+    """GT200's tiny intra-warp instruction window (paper §4.1)."""
+
+    def test_independent_arith_serializes_when_in_order(self):
+        independent = arith_chain(100, dep=0)
+        strict = cycles(independent, config=HwConfig(arith_in_order=True))
+        relaxed = cycles(independent, config=HwConfig(arith_in_order=False))
+        assert strict > 2.0 * relaxed
+
+    def test_dependent_chains_unaffected(self):
+        chain = arith_chain(100, dep=1)
+        strict = cycles(chain, config=HwConfig(arith_in_order=True))
+        relaxed = cycles(chain, config=HwConfig(arith_in_order=False))
+        assert strict == pytest.approx(relaxed, rel=0.02)
+
+    def test_many_warps_hide_the_serialization(self):
+        # At 8+ warps the pipe saturates either way (knee ~6 warps).
+        independent = arith_chain(60, dep=0)
+        strict = cycles(independent, warps=12, config=HwConfig(arith_in_order=True))
+        relaxed = cycles(independent, warps=12, config=HwConfig(arith_in_order=False))
+        assert strict < 1.35 * relaxed
+
+
+class TestReplayStall:
+    """Bank-conflict replays stall the issuing warp (CR's 1.6x)."""
+
+    def test_stall_scales_with_conflict_degree(self):
+        cfg = HwConfig(replay_warp_stall=10.0)
+        t16 = cycles(shared_events(50, 16), config=cfg)
+        t8 = cycles(shared_events(50, 8), config=cfg)
+        t2 = cycles(shared_events(50, 2), config=cfg)
+        assert t16 > 1.5 * t8 > 1.5 * t2
+
+    def test_other_warps_fill_the_stall(self):
+        cfg = HwConfig(replay_warp_stall=10.0)
+        one = cycles(shared_events(50, 8), warps=1, config=cfg)
+        eight = cycles(shared_events(50, 8), warps=8, config=cfg)
+        # 8x the work in far less than 8x the time: stalls overlap.
+        assert eight < 4.0 * one
+
+
+class TestSharedInOrder:
+    """The documented EXPERIMENTS.md ablation knob."""
+
+    def test_serializes_independent_shared_accesses(self):
+        stream = shared_events(80, 2, dep=0)
+        strict = cycles(stream, config=HwConfig(shared_in_order=True))
+        relaxed = cycles(stream, config=HwConfig(shared_in_order=False))
+        assert strict > 2.0 * relaxed
+
+    def test_applies_to_shared_operands_too(self):
+        stream = [(EV_ARITH_SHARED, 0, 1, 2, None)] * 80
+        strict = cycles(stream, config=HwConfig(shared_in_order=True))
+        relaxed = cycles(stream, config=HwConfig(shared_in_order=False))
+        assert strict >= relaxed
+
+
+class TestWaveExtrapolationConsistency:
+    def test_extrapolation_matches_exact_for_memory_workload(self):
+        from repro.sim.trace import BlockTrace, EV_GLOBAL_LD
+
+        trace = BlockTrace(
+            block=(0, 0),
+            stages=[],
+            warp_streams=[[(EV_GLOBAL_LD, 0, 2, 128, None)] * 40] * 2,
+        )
+        gpu = HardwareGpu()
+        exact = gpu.measure(trace, 240, 2, wave_extrapolation=False)
+        fast = gpu.measure(trace, 240, 2, wave_extrapolation=True)
+        assert fast.extrapolated
+        assert fast.cycles == pytest.approx(exact.cycles, rel=0.2)

@@ -1,0 +1,99 @@
+"""Whole-GPU measurement: distribution, waves, sawtooth."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import HardwareGpu
+from repro.hw.gpu import HardwareGpu as _Gpu
+from repro.sim.trace import BlockTrace, EV_ARITH, EV_GLOBAL_LD
+
+
+def block_trace(stream, warps=2):
+    return BlockTrace(block=(0, 0), stages=[], warp_streams=[stream] * warps)
+
+
+def arith_block(n=50, warps=2):
+    return block_trace([(EV_ARITH, 1, 1, 0, None)] * n, warps)
+
+
+def load_block(n=20, warps=2):
+    return block_trace([(EV_GLOBAL_LD, 0, 2, 128, None)] * n, warps)
+
+
+class TestDistribution:
+    def test_block_counts_round_robin(self):
+        counts = _Gpu._block_counts(35, 10, 3)
+        # 35 blocks over 10 clusters: clusters 0-4 get 4, 5-9 get 3.
+        assert [sum(c) for c in counts] == [4, 4, 4, 4, 4, 3, 3, 3, 3, 3]
+
+    def test_block_counts_within_cluster(self):
+        counts = _Gpu._block_counts(30, 10, 3)
+        assert all(c == [1, 1, 1] for c in counts)
+
+    def test_total_preserved(self):
+        for n in (1, 7, 29, 30, 31, 59, 123):
+            counts = _Gpu._block_counts(n, 10, 3)
+            assert sum(sum(c) for c in counts) == n
+
+
+class TestMeasurement:
+    def test_single_block(self):
+        gpu = HardwareGpu()
+        run = gpu.measure(arith_block(), num_blocks=1, resident_per_sm=8)
+        assert run.cycles > 0
+        assert run.seconds == run.cycles / gpu.spec.core_clock_hz
+
+    def test_more_blocks_take_longer_when_saturated(self):
+        gpu = HardwareGpu()
+        t30 = gpu.measure(load_block(100), 30, 8).cycles
+        t60 = gpu.measure(load_block(100), 60, 8).cycles
+        assert t60 > 1.5 * t30
+
+    def test_sawtooth_at_cluster_multiples(self):
+        # Blocks beyond a multiple of 10 cause a leftover wave: the
+        # paper's "for the best throughput, the number of blocks should
+        # be a multiple of 10".
+        gpu = HardwareGpu()
+        trace = load_block(200, warps=2)
+        t30 = gpu.measure(trace, 30, 1).cycles
+        t31 = gpu.measure(trace, 31, 1).cycles
+        t40 = gpu.measure(trace, 40, 1).cycles
+        assert t31 > 1.15 * t30
+        assert abs(t40 - t31) / t40 < 0.35  # 31..40 share the 4-deep cluster
+
+    def test_wave_extrapolation_close_to_exact(self):
+        gpu = HardwareGpu()
+        trace = arith_block(60)
+        exact = gpu.measure(
+            trace, 300, resident_per_sm=2, wave_extrapolation=False
+        )
+        extrapolated = gpu.measure(trace, 300, resident_per_sm=2)
+        assert extrapolated.extrapolated
+        assert extrapolated.cycles == pytest.approx(exact.cycles, rel=0.15)
+
+    def test_heterogeneous_traces_cycle(self):
+        gpu = HardwareGpu()
+        light = arith_block(10)
+        heavy = arith_block(200)
+        mixed = gpu.measure([light, heavy], 20, 8)
+        uniform = gpu.measure(light, 20, 8)
+        assert mixed.cycles > uniform.cycles
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(HardwareModelError):
+            HardwareGpu().measure(arith_block(), 0, 1)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(HardwareModelError):
+            HardwareGpu().measure([], 10, 1)
+
+    def test_measure_uniform_sm(self):
+        gpu = HardwareGpu()
+        stream = [(EV_ARITH, 1, 1, 0, None)] * 40
+        result = gpu.measure_uniform_sm([[stream] * 4], resident_per_sm=8)
+        assert result.cycles > 0
+
+    def test_milliseconds_property(self):
+        gpu = HardwareGpu()
+        run = gpu.measure(arith_block(), 1, 1)
+        assert run.milliseconds == pytest.approx(run.seconds * 1e3)

@@ -1,0 +1,179 @@
+"""End-to-end reproduction of the paper's headline narratives.
+
+Scaled-down problem sizes keep the suite fast; the benchmark harness in
+``benchmarks/`` regenerates the full-size tables and figures.
+"""
+
+import pytest
+
+from repro.apps.matmul import gflops as mm_gflops, run_matmul
+from repro.apps.matrices import qcd_like
+from repro.apps.spmv import gflops as spmv_gflops, run_spmv
+from repro.apps.tridiag import forward_stage_count, run_cr
+from repro.model import (
+    predict_with_granularity,
+    predict_without_bank_conflicts,
+)
+
+
+@pytest.fixture(scope="module")
+def matmul_runs(model, gpu):
+    return {
+        tile: run_matmul(512, tile, model=model, gpu=gpu) for tile in (8, 16, 32)
+    }
+
+
+class TestMatmulNarrative:
+    """Section 5.1: bottlenecks across tile sizes (Fig. 4b, Table 2)."""
+
+    def test_16x16_instruction_bound(self, matmul_runs):
+        assert matmul_runs[16].report.bottleneck == "instruction"
+
+    def test_32x32_shifts_to_shared(self, matmul_runs):
+        # Occupancy collapse (6 warps) makes shared memory the
+        # bottleneck at 32x32 -- the paper's key Fig. 4(b) observation.
+        assert matmul_runs[32].report.bottleneck == "shared"
+
+    def test_32x32_runs_at_six_warps(self, matmul_runs):
+        assert matmul_runs[32].occupancy.warps_per_sm == 6
+        assert matmul_runs[16].occupancy.warps_per_sm == 16
+
+    def test_16x16_is_fastest_measured(self, matmul_runs):
+        # At n=512 the 8x8/16x16 gap narrows (global traffic scales as
+        # n^3/s); allow a 2% tie here -- the full-size n=1024 benchmark
+        # shows the paper's decisive ordering.
+        measured = {t: matmul_runs[t].measured.seconds for t in (8, 16, 32)}
+        assert measured[16] <= 1.02 * min(measured.values())
+
+    def test_model_error_within_bounds_for_16x16(self, matmul_runs):
+        # The paper reports 5-15% (with a known ~14% underestimate).
+        assert matmul_runs[16].model_error < 0.30
+
+    def test_larger_tiles_do_not_win(self, matmul_runs):
+        assert (
+            matmul_runs[32].measured.seconds > matmul_runs[16].measured.seconds
+        )
+
+    def test_gflops_sane(self, matmul_runs):
+        for tile, run in matmul_runs.items():
+            rate = mm_gflops(512, run.measured.seconds)
+            assert 50 < rate < 710.4  # below theoretical peak
+
+
+@pytest.fixture(scope="module")
+def cr_runs(model, gpu):
+    return {
+        padded: run_cr(512, 64, padded=padded, model=model, gpu=gpu)
+        for padded in (False, True)
+    }
+
+
+class TestTridiagNarrative:
+    """Section 5.2: CR is shared-bound; padding shifts it (Figs. 6-8)."""
+
+    def test_cr_shared_bound(self, cr_runs):
+        assert cr_runs[False].report.bottleneck == "shared"
+
+    def test_nbc_instruction_bound(self, cr_runs):
+        assert cr_runs[True].report.bottleneck == "instruction"
+
+    def test_stages_serialized_single_block(self, cr_runs):
+        assert cr_runs[False].report.serialized
+        assert cr_runs[False].occupancy.blocks_per_sm == 1
+
+    def test_load_stage_global_bound(self, cr_runs):
+        assert cr_runs[False].report.stages[0].bottleneck == "global"
+
+    def test_middle_steps_shared_bound_with_conflicts(self, cr_runs):
+        fwd = cr_runs[False].report.stages[: forward_stage_count(512)]
+        shared_bound = [s for s in fwd[2:] if s.bottleneck == "shared"]
+        assert len(shared_bound) >= 2
+
+    def test_nbc_compute_steps_instruction_bound(self, cr_runs):
+        fwd = cr_runs[True].report.stages[1 : forward_stage_count(512)]
+        assert all(s.bottleneck == "instruction" for s in fwd)
+
+    def test_padding_speeds_up_measured(self, cr_runs):
+        speedup = (
+            cr_runs[False].measured.seconds / cr_runs[True].measured.seconds
+        )
+        assert 1.2 < speedup < 2.2  # paper: 1.6x
+
+    def test_model_predicts_the_win_before_writing_nbc(self, cr_runs, model):
+        run = cr_runs[False]
+        inputs = model.extract(run.trace, run.launch, run.resources)
+        prediction = predict_without_bank_conflicts(model, inputs)
+        assert prediction.speedup > 1.2
+
+    def test_predicted_speedup_close_to_measured(self, cr_runs):
+        predicted = (
+            cr_runs[False].report.predicted_seconds
+            / cr_runs[True].report.predicted_seconds
+        )
+        measured = (
+            cr_runs[False].measured.seconds / cr_runs[True].measured.seconds
+        )
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+
+@pytest.fixture(scope="module")
+def spmv_runs(model, gpu):
+    matrix = qcd_like(dims=(8, 8, 16, 8))  # 8192 block rows
+    runs = {
+        fmt: run_spmv(matrix, fmt, model=model, gpu=gpu, sample_blocks=8)
+        for fmt in ("ell", "bell_im", "bell_imiv")
+    }
+    return matrix, runs
+
+
+class TestSpmvNarrative:
+    """Section 5.3: global-bound; IM and IV each help (Figs. 11-12)."""
+
+    def test_all_formats_global_bound(self, spmv_runs):
+        _, runs = spmv_runs
+        for run in runs.values():
+            assert run.report.bottleneck == "global"
+
+    def test_format_ordering_measured(self, spmv_runs):
+        _, runs = spmv_runs
+        assert (
+            runs["bell_imiv"].measured.seconds
+            < runs["bell_im"].measured.seconds
+            < runs["ell"].measured.seconds
+        )
+
+    def test_model_error_small(self, spmv_runs):
+        # Paper: "the error ... of bottleneck factor is within 5%".
+        _, runs = spmv_runs
+        for run in runs.values():
+            assert run.model_error < 0.25
+
+    def test_gflops_improvements(self, spmv_runs):
+        matrix, runs = spmv_runs
+        rates = {
+            fmt: spmv_gflops(matrix, run.measured.seconds)
+            for fmt, run in runs.items()
+        }
+        assert rates["bell_im"] > 1.2 * rates["ell"]
+        assert rates["bell_imiv"] > 1.15 * rates["bell_im"]
+
+    def test_smaller_granularity_helps_ell(self, spmv_runs, model):
+        _, runs = spmv_runs
+        run = runs["ell"]
+        inputs = model.extract(run.trace, run.launch, run.resources)
+        result = predict_with_granularity(model, inputs, 16)
+        assert result.speedup >= 1.0
+
+    def test_texture_cache_speeds_up(self, model, gpu):
+        matrix = qcd_like(dims=(4, 4, 4, 4))
+        plain = run_spmv(matrix, "bell_imiv", gpu=gpu, sample_blocks=6)
+        cached = run_spmv(
+            matrix, "bell_imiv", gpu=gpu, sample_blocks=6, use_cache=True
+        )
+        assert cached.measured.seconds < plain.measured.seconds
+
+    def test_low_density_explains_low_gflops(self, spmv_runs):
+        # "only about 1/10 of total instructions ... actual computations"
+        _, runs = spmv_runs
+        density = runs["ell"].trace.totals.computational_density
+        assert density < 0.25

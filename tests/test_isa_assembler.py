@@ -1,0 +1,213 @@
+"""Assembler: text round-trips (the Decuda/cudasm analogue)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa import (
+    COMPARISONS,
+    Imm,
+    Instruction,
+    Kernel,
+    KernelBuilder,
+    MemRef,
+    Opcode,
+    Pred,
+    Reg,
+    Special,
+    format_kernel,
+    parse_kernel,
+)
+
+
+def roundtrip(kernel: Kernel) -> Kernel:
+    return parse_kernel(format_kernel(kernel))
+
+
+class TestBasics:
+    def test_minimal_kernel_roundtrip(self):
+        b = KernelBuilder("mini")
+        r = b.reg()
+        b.mov(r, Imm(1))
+        b.exit()
+        kernel = b.build()
+        again = roundtrip(kernel)
+        assert again.name == "mini"
+        assert format_kernel(again) == format_kernel(kernel)
+
+    def test_directives_parsed(self):
+        text = (
+            ".kernel k\n.params a b\n.regs 4\n.preds 2\n.smem 8\n"
+            "    mov r2, r0\n    exit\n"
+        )
+        kernel = parse_kernel(text)
+        assert kernel.params == ("a", "b")
+        assert kernel.num_registers == 4
+        assert kernel.num_predicates == 2
+        assert kernel.shared_memory_words == 8
+
+    def test_labels_and_branches(self):
+        text = (
+            ".kernel k\n.regs 2\n.preds 1\n.smem 0\n"
+            "TOP:\n    iadd r1, r1, -1\n    isetp.gt p0, r1, 0\n"
+            "    @p0 bra TOP\n    exit\n"
+        )
+        kernel = parse_kernel(text)
+        assert kernel.labels == {"TOP": 0}
+        branch = kernel.instructions[2]
+        assert branch.target == "TOP"
+        assert branch.guard == (Pred(0), True)
+
+    def test_negated_guard(self):
+        text = ".kernel k\n.regs 1\n.preds 1\n.smem 0\n    @!p0 bra END\nEND:\n    exit\n"
+        kernel = parse_kernel(text)
+        assert kernel.instructions[0].guard == (Pred(0), False)
+
+    def test_memref_forms(self):
+        text = (
+            ".kernel k\n.regs 3\n.preds 0\n.smem 16\n"
+            "    ldg r2, g[r0+0x10]\n    lds r2, s[0x4]\n"
+            "    sts s[r1], r2\n    stg g[r0], r2\n    exit\n"
+        )
+        kernel = parse_kernel(text)
+        assert kernel.instructions[0].srcs[0] == MemRef("global", Reg(0), 16)
+        assert kernel.instructions[1].srcs[0] == MemRef("shared", None, 4)
+        assert kernel.instructions[2].dst == MemRef("shared", Reg(1), 0)
+
+    def test_specials(self):
+        text = ".kernel k\n.regs 1\n.preds 0\n.smem 0\n    mov r0, %ctaid_x\n    exit\n"
+        kernel = parse_kernel(text)
+        assert kernel.instructions[0].srcs[0] == Special("ctaid_x")
+
+    def test_comments_ignored(self):
+        text = (
+            ".kernel k  \n.regs 1\n.preds 0\n.smem 0\n"
+            "    mov r0, 1  # set one\n"
+            "    exit  // done\n"
+        )
+        assert len(parse_kernel(text).instructions) == 2
+
+    def test_shared_operand_in_arith(self):
+        b = KernelBuilder("k")
+        b.alloc_shared(4)
+        r = b.reg()
+        b.mov(r, Imm(0))
+        b.fmad(r, r, b.smem(offset=8), r)
+        b.exit()
+        again = roundtrip(b.build())
+        mad = again.instructions[1]
+        assert mad.shared_operand == MemRef("shared", None, 8)
+
+
+class TestErrors:
+    def test_missing_kernel_directive(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel("    exit\n")
+
+    def test_unknown_operand(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.regs 1\n    mov r0, ???\n    exit\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.regs 1\nA:\nA:\n    exit\n")
+
+    def test_bra_operand_count(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.regs 1\n    bra A, B\nA:\n    exit\n")
+
+    def test_bar_takes_no_operands(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.regs 1\n    bar r0\n    exit\n")
+
+    def test_store_operand_shape(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.regs 2\n    stg r0, r1\n    exit\n")
+
+
+# ----------------------------------------------------------------------
+# property-based round trip over randomly generated straight-line kernels
+# ----------------------------------------------------------------------
+_NUM_REGS = 8
+
+_reg = st.integers(0, _NUM_REGS - 1).map(Reg)
+_imm = st.one_of(
+    st.integers(-1000, 1000).map(Imm),
+    st.floats(
+        min_value=-100,
+        max_value=100,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ).map(lambda v: Imm(round(v, 3))),
+)
+_special = st.sampled_from(
+    ["tid", "ntid", "ctaid_x", "ctaid_y", "nctaid_x", "nctaid_y"]
+).map(Special)
+_operand = st.one_of(_reg, _imm, _special)
+
+
+@st.composite
+def _arith_instruction(draw):
+    opcode = draw(
+        st.sampled_from(
+            [
+                Opcode.FADD,
+                Opcode.FMUL,
+                Opcode.FMAD,
+                Opcode.MOV,
+                Opcode.IADD,
+                Opcode.IMUL,
+                Opcode.IMAD,
+                Opcode.ISHL,
+                Opcode.RCP,
+                Opcode.DADD,
+            ]
+        )
+    )
+    srcs = tuple(draw(_operand) for _ in range(opcode.info.num_srcs))
+    guard = draw(
+        st.one_of(st.none(), st.tuples(st.just(Pred(0)), st.booleans()))
+    )
+    return Instruction(opcode, dst=draw(_reg), srcs=srcs, guard=guard)
+
+
+@st.composite
+def _setp_instruction(draw):
+    return Instruction(
+        Opcode.ISETP,
+        dst=Pred(0),
+        srcs=(draw(_reg), draw(_operand)),
+        cmp=draw(st.sampled_from(COMPARISONS)),
+    )
+
+
+@st.composite
+def straight_line_kernel(draw):
+    body = draw(
+        st.lists(
+            st.one_of(_arith_instruction(), _setp_instruction()),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return Kernel(
+        name="prop",
+        instructions=tuple(body) + (Instruction(Opcode.EXIT),),
+        num_registers=_NUM_REGS,
+        num_predicates=1,
+    )
+
+
+class TestRoundTripProperty:
+    @given(straight_line_kernel())
+    @settings(max_examples=120, deadline=None)
+    def test_format_parse_is_identity_on_text(self, kernel):
+        text = format_kernel(kernel)
+        again = parse_kernel(text)
+        assert format_kernel(again) == text
+        assert len(again.instructions) == len(kernel.instructions)
+        for a, b in zip(again.instructions, kernel.instructions):
+            assert a.opcode is b.opcode
+            assert a.guard == b.guard
+            assert a.cmp == b.cmp

@@ -1,0 +1,179 @@
+"""ISA core: opcodes, operands, instruction construction rules."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (
+    Imm,
+    Instruction,
+    MemRef,
+    Opcode,
+    OpKind,
+    Pred,
+    Reg,
+    Special,
+    TABLE1_EXAMPLES,
+    opcode_from_mnemonic,
+)
+
+
+class TestTable1Classification:
+    def test_mul_is_type_i(self):
+        assert Opcode.FMUL.instr_type == "I"
+        assert Opcode.IMUL.instr_type == "I"
+
+    def test_mov_add_mad_are_type_ii(self):
+        for op in (Opcode.MOV, Opcode.FADD, Opcode.FMAD, Opcode.IADD):
+            assert op.instr_type == "II"
+
+    def test_transcendentals_are_type_iii(self):
+        for op in (Opcode.SIN, Opcode.COS, Opcode.LG2, Opcode.RCP):
+            assert op.instr_type == "III"
+
+    def test_double_precision_is_type_iv(self):
+        for op in (Opcode.DADD, Opcode.DMUL, Opcode.DFMA):
+            assert op.instr_type == "IV"
+
+    def test_memory_ops_issue_as_type_ii(self):
+        for op in (Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS):
+            assert op.instr_type == "II"
+            assert op.is_memory
+
+    def test_control_flags(self):
+        assert Opcode.BRA.is_control
+        assert Opcode.BAR.is_control
+        assert not Opcode.FMAD.is_control
+
+    def test_table1_examples_exposed(self):
+        assert TABLE1_EXAMPLES["I"] == ("mul",)
+        assert "mad" in TABLE1_EXAMPLES["II"]
+
+    def test_mnemonic_lookup(self):
+        assert opcode_from_mnemonic("fmad") is Opcode.FMAD
+        assert opcode_from_mnemonic("LDS") is Opcode.LDS
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            opcode_from_mnemonic("frobnicate")
+
+
+class TestOperands:
+    def test_register_str(self):
+        assert str(Reg(5)) == "r5"
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(IsaError):
+            Reg(-1)
+
+    def test_special_names(self):
+        assert str(Special("tid")) == "%tid"
+        with pytest.raises(IsaError):
+            Special("warpid")
+
+    def test_memref_str(self):
+        assert str(MemRef("global", Reg(2), 16)) == "g[r2+0x10]"
+        assert str(MemRef("shared", None, 64)) == "s[0x40]"
+
+    def test_memref_global_needs_base(self):
+        with pytest.raises(IsaError):
+            MemRef("global", None, 0)
+
+    def test_memref_bad_space(self):
+        with pytest.raises(IsaError):
+            MemRef("texture", Reg(0), 0)
+
+    def test_memref_negative_offset(self):
+        with pytest.raises(IsaError):
+            MemRef("shared", Reg(0), -4)
+
+
+class TestInstructionRules:
+    def test_arith_arity_enforced(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.FMAD, dst=Reg(0), srcs=(Reg(1),))
+
+    def test_store_requires_memref_dst(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.STG, dst=Reg(0), srcs=(Reg(1),))
+
+    def test_store_space_must_match(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.STG, dst=MemRef("shared", Reg(0)), srcs=(Reg(1),)
+            )
+
+    def test_load_requires_memref_src(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.LDG, dst=Reg(0), srcs=(Reg(1),))
+
+    def test_branch_requires_target(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.BRA)
+
+    def test_non_branch_rejects_target(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.FADD, dst=Reg(0), srcs=(Reg(1), Reg(2)), target="L")
+
+    def test_setp_needs_comparison(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ISETP, dst=Pred(0), srcs=(Reg(0), Reg(1)))
+
+    def test_setp_needs_pred_dst(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.ISETP, dst=Reg(0), srcs=(Reg(0), Reg(1)), cmp="lt"
+            )
+
+    def test_one_shared_operand_allowed(self):
+        instr = Instruction(
+            Opcode.FMAD,
+            dst=Reg(0),
+            srcs=(Reg(1), MemRef("shared", None, 4), Reg(0)),
+        )
+        assert instr.shared_operand == MemRef("shared", None, 4)
+
+    def test_two_shared_operands_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.FADD,
+                dst=Reg(0),
+                srcs=(MemRef("shared", None, 0), MemRef("shared", None, 4)),
+            )
+
+    def test_global_arith_operand_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.FADD,
+                dst=Reg(0),
+                srcs=(Reg(1), MemRef("global", Reg(2), 0)),
+            )
+
+    def test_registers_read_includes_address_bases(self):
+        instr = Instruction(
+            Opcode.STG, dst=MemRef("global", Reg(7)), srcs=(Reg(3),)
+        )
+        assert set(instr.registers_read()) == {3, 7}
+
+    def test_registers_written(self):
+        instr = Instruction(Opcode.FADD, dst=Reg(4), srcs=(Reg(1), Imm(2.0)))
+        assert instr.registers_written() == (4,)
+
+    def test_store_writes_no_registers(self):
+        instr = Instruction(
+            Opcode.STS, dst=MemRef("shared", Reg(1)), srcs=(Reg(2),)
+        )
+        assert instr.registers_written() == ()
+
+    def test_guard_rendering(self):
+        instr = Instruction(
+            Opcode.BRA, target="LOOP", guard=(Pred(1), False)
+        )
+        assert str(instr) == "@!p1 bra LOOP"
+
+    def test_sel_requires_pred_first(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.SEL, dst=Reg(0), srcs=(Reg(1), Reg(2), Reg(3)))
+
+    def test_kind_partition(self):
+        kinds = {op.kind for op in Opcode}
+        assert OpKind.ARITH in kinds and OpKind.BARRIER in kinds

@@ -1,0 +1,100 @@
+"""Layout transforms: padding and interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.memory import (
+    deinterleave,
+    interleave,
+    interleave_permutation,
+    pad_array,
+    pad_index,
+    padded_length,
+)
+
+
+class TestPadding:
+    def test_pad_index_first_group_unchanged(self):
+        assert [pad_index(i) for i in range(16)] == list(range(16))
+
+    def test_pad_index_inserts_gap_every_16(self):
+        assert pad_index(16) == 17
+        assert pad_index(32) == 34
+        assert pad_index(511) == 511 + 31
+
+    def test_padded_length(self):
+        assert padded_length(16) == 16
+        assert padded_length(17) == 18
+        assert padded_length(512) == 543  # 511 + 511 // 16 + 1
+
+    def test_pad_array_scatter(self):
+        values = np.arange(20.0)
+        padded = pad_array(values, fill=-1.0)
+        assert padded[16] == -1.0  # the pad word
+        assert padded[17] == 16.0
+
+    def test_pad_index_injective(self):
+        seen = {pad_index(i) for i in range(1000)}
+        assert len(seen) == 1000
+
+    def test_bad_inputs(self):
+        with pytest.raises(ModelError):
+            pad_index(-1)
+        with pytest.raises(ModelError):
+            pad_index(3, every=0)
+
+    def test_zero_length(self):
+        assert padded_length(0) == 0
+
+
+class TestInterleave:
+    def test_paper_figure_9d_grouping(self):
+        # Rows 0..11 in 3 groups: group members stored together.
+        perm = interleave_permutation(12, 3)
+        # row 0 -> 0, row 1 -> 4, row 2 -> 8, row 3 -> 1, ...
+        assert list(perm[:6]) == [0, 4, 8, 1, 5, 9]
+
+    def test_interleave_values(self):
+        x = np.arange(6.0)
+        out = interleave(x, 3)
+        assert list(out) == [0, 3, 1, 4, 2, 5]
+
+    def test_group_must_divide(self):
+        with pytest.raises(ModelError):
+            interleave_permutation(10, 3)
+
+    def test_group_positive(self):
+        with pytest.raises(ModelError):
+            interleave_permutation(9, 0)
+
+    def test_identity_group_one(self):
+        x = np.arange(8.0)
+        assert np.array_equal(interleave(x, 1), x)
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, group, blocks):
+        n = group * blocks
+        x = np.arange(float(n))
+        assert np.array_equal(deinterleave(interleave(x, group), group), x)
+
+    @given(st.integers(2, 6), st.integers(2, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_is_bijection(self, group, blocks):
+        n = group * blocks
+        perm = interleave_permutation(n, group)
+        assert sorted(perm) == list(range(n))
+
+    def test_vector_semantics_match_spmv_layout(self):
+        # x'[j * nbr + c] must equal x[3c + j] (paper Fig. 10b).
+        nbr = 5
+        x = np.arange(15.0)
+        stored = interleave(x, 3)
+        for c in range(nbr):
+            for j in range(3):
+                assert stored[j * nbr + c] == x[3 * c + j]

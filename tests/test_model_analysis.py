@@ -1,0 +1,273 @@
+"""Performance model: extraction, components, bottlenecks, what-ifs."""
+
+import pytest
+
+from repro.arch import GTX285, KernelResources
+from repro.errors import ModelError
+from repro.isa import Imm, KernelBuilder
+from repro.model import (
+    ComponentTimes,
+    PerformanceModel,
+    predict_with_granularity,
+    predict_with_max_blocks,
+    predict_without_bank_conflicts,
+    with_blocks_per_sm,
+    with_granularity,
+    without_bank_conflicts,
+)
+from repro.sim import FunctionalSimulator, GlobalMemory, LaunchConfig
+
+
+def make_run(build, threads=64, grid=(4, 1), params=None, gmem=None, grans=(32,)):
+    b = KernelBuilder("k", params=tuple(params or ()))
+    build(b)
+    b.exit()
+    kernel = b.build()
+    sim = FunctionalSimulator(kernel, gmem=gmem)
+    launch = LaunchConfig(
+        grid=grid,
+        block_threads=threads,
+        params=params or {},
+        granularities=grans,
+    )
+    trace = sim.run(launch)
+    resources = KernelResources(
+        threads, kernel.num_registers, kernel.shared_memory_bytes
+    )
+    return trace, launch, resources
+
+
+class TestComponentTimes:
+    def test_bottleneck_selection(self):
+        times = ComponentTimes(1.0, 3.0, 2.0)
+        assert times.bottleneck == "shared"
+        assert times.bottleneck_time == 3.0
+        assert times.next_bottleneck() == "global"
+
+    def test_addition(self):
+        total = ComponentTimes(1, 2, 3) + ComponentTimes(4, 5, 6)
+        assert (total.instruction, total.shared, total.global_) == (5, 7, 9)
+
+    def test_get_unknown(self):
+        with pytest.raises(ModelError):
+            ComponentTimes(1, 2, 3).get("texture")
+
+
+class TestArithmeticBoundKernel:
+    def test_instruction_bottleneck_identified(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+            with b.counted_loop(50):
+                for _ in range(8):
+                    b.fmad(v, v, v, v)
+
+        trace, launch, resources = make_run(build)
+        report = model.analyze(trace, launch, resources)
+        assert report.bottleneck == "instruction"
+        assert report.component_totals.instruction > report.component_totals.shared
+        assert not report.serialized  # plenty of blocks per SM
+
+    def test_predicted_time_matches_hand_calculation(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+            with b.counted_loop(50):
+                for _ in range(8):
+                    b.fmad(v, v, v, v)
+
+        trace, launch, resources = make_run(build)
+        report = model.analyze(trace, launch, resources)
+        inputs = model.extract(trace, launch, resources)
+        stage = inputs.stages[0]
+        warps = inputs.active_warps_per_sm(stage)
+        by_hand = sum(
+            count / model.models.instruction.curves[t].at(warps)
+            for t, count in stage.instr_by_type.items()
+            if count
+        )
+        assert report.component_totals.instruction == pytest.approx(by_hand)
+
+    def test_density_in_diagnostics(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+            with b.counted_loop(50):
+                for _ in range(8):
+                    b.fmad(v, v, v, v)
+
+        trace, launch, resources = make_run(build)
+        report = model.analyze(trace, launch, resources)
+        assert 0.5 < report.diagnostics.computational_density < 0.95
+
+
+class TestSharedBoundKernel:
+    def _build(self, b):
+        b.alloc_shared(640)
+        addr = b.reg()
+        b.ishl(addr, b.tid, Imm(4))  # stride-4 words: 4-way conflicts
+        v = b.reg()
+        with b.counted_loop(40):
+            b.lds(v, addr)
+            b.sts(v, addr, offset=4)
+
+    def test_shared_bottleneck_and_conflict_factor(self, model):
+        trace, launch, resources = make_run(self._build, threads=128)
+        report = model.analyze(trace, launch, resources)
+        assert report.bottleneck == "shared"
+        assert report.diagnostics.bank_conflict_factor == pytest.approx(4.0, rel=0.1)
+        assert any("bank conflicts" in c for c in report.diagnostics.causes)
+
+    def test_whatif_removing_conflicts_speeds_up(self, model):
+        trace, launch, resources = make_run(self._build, threads=128)
+        inputs = model.extract(trace, launch, resources)
+        result = predict_without_bank_conflicts(model, inputs)
+        assert result.speedup > 1.4
+        assert result.baseline.bottleneck == "shared"
+        shrink = (
+            result.modified.component_totals.shared
+            / result.baseline.component_totals.shared
+        )
+        assert shrink == pytest.approx(0.25, rel=0.15)  # 4-way conflicts gone
+
+    def test_without_conflicts_transform(self, model):
+        trace, launch, resources = make_run(self._build, threads=128)
+        inputs = model.extract(trace, launch, resources)
+        clean = without_bank_conflicts(inputs)
+        for stage in clean.stages:
+            assert stage.shared_transactions == stage.shared_transactions_ideal
+
+
+class TestGlobalBoundKernel:
+    def _gmem(self):
+        gmem = GlobalMemory()
+        base = gmem.alloc(64 * 64 + 64 * 20, "buf")
+        return gmem, base
+
+    def _build_scattered(self, b):
+        # stride-64 words: every lane its own 128-byte line, so each
+        # access costs one minimum-size segment (32 B at stock hardware,
+        # 16 B at the hypothetical finer granularity).
+        addr = b.reg()
+        v = b.reg()
+        b.imad(addr, b.tid, Imm(256), b.param("buf"))
+        with b.counted_loop(20):
+            b.ldg(v, addr)
+            b.iadd(addr, addr, Imm(4))
+
+    def test_global_bottleneck_and_coalescing_diagnosis(self, model):
+        gmem, base = self._gmem()
+        trace, launch, resources = make_run(
+            self._build_scattered,
+            params={"buf": base},
+            gmem=gmem,
+            grans=(32, 16, 4),
+        )
+        report = model.analyze(trace, launch, resources)
+        assert report.bottleneck == "global"
+        assert report.diagnostics.coalescing_efficiency < 0.5
+        assert any("uncoalesced" in c for c in report.diagnostics.causes)
+
+    def test_granularity_whatif_reduces_global_time(self, model):
+        gmem, base = self._gmem()
+        trace, launch, resources = make_run(
+            self._build_scattered,
+            params={"buf": base},
+            gmem=gmem,
+            grans=(32, 16, 4),
+        )
+        inputs = model.extract(trace, launch, resources)
+        result = predict_with_granularity(model, inputs, 16)
+        # Paper Fig. 11: a 16-byte granularity halves the wasted bytes
+        # of this fully scattered pattern.
+        assert result.modified.component_totals.global_ == pytest.approx(
+            result.baseline.component_totals.global_ / 2, rel=0.1
+        )
+        assert result.speedup >= 1.0
+
+    def test_missing_granularity_rejected(self, model):
+        gmem, base = self._gmem()
+        trace, launch, resources = make_run(
+            self._build_scattered, params={"buf": base}, gmem=gmem, grans=(32,)
+        )
+        inputs = model.extract(trace, launch, resources)
+        with pytest.raises(ModelError):
+            with_granularity(inputs, 16)
+
+
+class TestStageSerialization:
+    def _build(self, b):
+        b.alloc_shared(2200)  # 8.8 KB: forces one block per SM
+        v = b.reg()
+        b.mov(v, Imm(1.0))
+        b.fmad(v, v, v, v)
+        b.bar()
+        b.fmad(v, v, v, v)
+
+    def test_single_block_serializes(self, model):
+        trace, launch, resources = make_run(self._build, threads=64, grid=(8, 1))
+        report = model.analyze(trace, launch, resources)
+        assert report.serialized
+        assert report.predicted_seconds == pytest.approx(
+            sum(s.times.bottleneck_time for s in report.stages)
+        )
+
+    def test_blocks_per_sm_whatif_overlaps_stages(self, model):
+        trace, launch, resources = make_run(self._build, threads=64, grid=(8, 1))
+        inputs = model.extract(trace, launch, resources)
+        assert inputs.serialized
+        more = with_blocks_per_sm(inputs, 4)
+        assert not more.serialized
+        faster = model.analyze_inputs(more)
+        baseline = model.analyze_inputs(inputs)
+        assert faster.predicted_seconds < baseline.predicted_seconds
+
+    def test_max_blocks_whatif(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+            with b.counted_loop(30):
+                b.fmad(v, v, v, v)
+
+        trace, launch, resources = make_run(build, threads=32, grid=(64, 1))
+        inputs = model.extract(trace, launch, resources)
+        # tiny blocks: the 8-block ceiling binds at 8 warps/SM
+        result = predict_with_max_blocks(model, inputs, resources, 16)
+        assert result.modified.diagnostics.warps_per_sm > (
+            result.baseline.diagnostics.warps_per_sm
+        )
+
+    def test_whatif_invalid_blocks(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+
+        trace, launch, resources = make_run(build)
+        inputs = model.extract(trace, launch, resources)
+        with pytest.raises(ModelError):
+            with_blocks_per_sm(inputs, 0)
+
+
+class TestReportRendering:
+    def test_render_mentions_key_fields(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+            with b.counted_loop(10):
+                b.fmad(v, v, v, v)
+
+        trace, launch, resources = make_run(build)
+        report = model.analyze(trace, launch, resources)
+        text = report.render()
+        assert "bottleneck" in text
+        assert "computational density" in text
+        assert "warps per SM" in text
+
+    def test_error_against(self, model):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1.0))
+
+        trace, launch, resources = make_run(build)
+        report = model.analyze(trace, launch, resources)
+        assert report.error_against(report.predicted_seconds) == 0.0

@@ -1,0 +1,172 @@
+"""Differential testing: the SIMT simulator vs a Python oracle.
+
+Hypothesis generates random straight-line arithmetic programs; a tiny
+reference interpreter executes them per-thread in plain Python/numpy.
+The functional simulator must produce identical register files -- this
+is the strongest correctness evidence for the execution core that every
+other result depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Imm, Instruction, Kernel, Opcode, Reg, Special
+from repro.sim import FunctionalSimulator, GlobalMemory, LaunchConfig
+
+_NUM_REGS = 6
+
+
+def _f32(x):
+    return np.float64(np.float32(x))
+
+
+def _as_int(x):
+    return np.asarray(x, dtype=np.float64).astype(np.int64)
+
+
+_ORACLE = {
+    Opcode.MOV: lambda a: a,
+    Opcode.FADD: lambda a, b: _f32(np.float32(a) + np.float32(b)),
+    Opcode.FMUL: lambda a, b: _f32(np.float32(a) * np.float32(b)),
+    Opcode.FMAD: lambda a, b, c: _f32(
+        np.float32(a) * np.float32(b) + np.float32(c)
+    ),
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FMIN: lambda a, b: min(a, b),
+    Opcode.FMAX: lambda a, b: max(a, b),
+    Opcode.IADD: lambda a, b: float(_as_int(a) + _as_int(b)),
+    Opcode.ISUB: lambda a, b: float(_as_int(a) - _as_int(b)),
+    Opcode.IMUL: lambda a, b: float(_as_int(a) * _as_int(b)),
+    Opcode.IMAD: lambda a, b, c: float(_as_int(a) * _as_int(b) + _as_int(c)),
+    Opcode.ISHL: lambda a, b: float(_as_int(a) << _as_int(b)),
+    Opcode.ISHR: lambda a, b: float(_as_int(a) >> _as_int(b)),
+    Opcode.IAND: lambda a, b: float(_as_int(a) & _as_int(b)),
+    Opcode.IOR: lambda a, b: float(_as_int(a) | _as_int(b)),
+    Opcode.IMIN: lambda a, b: float(min(_as_int(a), _as_int(b))),
+    Opcode.IMAX: lambda a, b: float(max(_as_int(a), _as_int(b))),
+    Opcode.DADD: lambda a, b: a + b,
+    Opcode.DMUL: lambda a, b: a * b,
+    Opcode.DFMA: lambda a, b, c: a * b + c,
+}
+
+_INT_OPS = {
+    Opcode.IADD,
+    Opcode.ISUB,
+    Opcode.IMUL,
+    Opcode.IMAD,
+    Opcode.ISHL,
+    Opcode.ISHR,
+    Opcode.IAND,
+    Opcode.IOR,
+    Opcode.IMIN,
+    Opcode.IMAX,
+}
+
+
+def oracle_run(kernel: Kernel, thread: int) -> list[float]:
+    """Execute a straight-line kernel for one thread, in plain Python."""
+    regs = [0.0] * _NUM_REGS
+
+    def value(operand):
+        if isinstance(operand, Reg):
+            return regs[operand.index]
+        if isinstance(operand, Imm):
+            return float(operand.value)
+        if isinstance(operand, Special):
+            return float(thread)  # only %tid is generated
+        raise AssertionError(operand)
+
+    for instr in kernel.instructions:
+        if instr.opcode is Opcode.EXIT:
+            break
+        args = [value(s) for s in instr.srcs]
+        regs[instr.dst.index] = float(_ORACLE[instr.opcode](*args))
+    return regs
+
+
+_reg = st.integers(0, _NUM_REGS - 1).map(Reg)
+_int_imm = st.integers(-64, 64).map(Imm)
+_shift_imm = st.integers(0, 8).map(Imm)
+_float_imm = st.floats(
+    min_value=-8, max_value=8, allow_nan=False, width=32
+).map(lambda v: Imm(round(v, 3)))
+_tid = st.just(Special("tid"))
+
+
+@st.composite
+def _instruction(draw):
+    opcode = draw(st.sampled_from(sorted(_ORACLE, key=lambda o: o.name)))
+    nsrc = opcode.info.num_srcs
+    if opcode in (Opcode.ISHL, Opcode.ISHR):
+        srcs = (draw(st.one_of(_reg, _int_imm, _tid)), draw(_shift_imm))
+    elif opcode in _INT_OPS:
+        srcs = tuple(
+            draw(st.one_of(_reg, _int_imm, _tid)) for _ in range(nsrc)
+        )
+    else:
+        srcs = tuple(
+            draw(st.one_of(_reg, _float_imm, _tid)) for _ in range(nsrc)
+        )
+    return Instruction(opcode, dst=draw(_reg), srcs=srcs)
+
+
+@st.composite
+def straight_line_program(draw):
+    # Seed every register so integer ops never see float garbage.
+    seed = [
+        Instruction(Opcode.MOV, dst=Reg(i), srcs=(Imm(i + 1),))
+        for i in range(_NUM_REGS)
+    ]
+    body = draw(st.lists(_instruction(), min_size=1, max_size=14))
+    return Kernel(
+        name="diff",
+        instructions=tuple(seed + body) + (Instruction(Opcode.EXIT),),
+        num_registers=_NUM_REGS,
+    )
+
+
+class TestDifferential:
+    @given(straight_line_program())
+    @settings(max_examples=120, deadline=None)
+    def test_simulator_matches_oracle(self, kernel):
+        sim = FunctionalSimulator(kernel)
+        launch = LaunchConfig(grid=(1, 1), block_threads=32)
+        sim.run_block(launch, (0, 0))
+        for lane in (0, 7, 31):
+            expected = oracle_run(kernel, lane)
+            got = [float(sim._R[lane, r]) for r in range(_NUM_REGS)]
+            for e, g in zip(expected, got):
+                if np.isnan(e) or np.isnan(g):
+                    assert np.isnan(e) and np.isnan(g)
+                else:
+                    assert g == pytest.approx(e, rel=1e-6, abs=1e-6)
+
+    @given(straight_line_program())
+    @settings(max_examples=60, deadline=None)
+    def test_instruction_count_is_static_length(self, kernel):
+        sim = FunctionalSimulator(kernel)
+        launch = LaunchConfig(grid=(1, 1), block_threads=32)
+        trace = sim.run_block(launch, (0, 0))
+        # Straight-line code: every instruction issues exactly once per
+        # warp (EXIT excluded from the counters).
+        assert trace.totals.total_instructions == len(kernel.instructions) - 1
+
+    @given(straight_line_program())
+    @settings(max_examples=60, deadline=None)
+    def test_event_dependencies_point_to_real_producers(self, kernel):
+        sim = FunctionalSimulator(kernel)
+        launch = LaunchConfig(grid=(1, 1), block_threads=32)
+        trace = sim.run_block(launch, (0, 0))
+        stream = trace.warp_streams[0]
+        instructions = [
+            i for i in kernel.instructions if i.opcode is not Opcode.EXIT
+        ]
+        for idx, (event, instr) in enumerate(zip(stream, instructions)):
+            dep = event[1]
+            assert 0 <= dep <= idx
+            if dep:
+                producer = instructions[idx - dep]
+                written = set(producer.registers_written())
+                read = set(instr.registers_read())
+                assert written & read

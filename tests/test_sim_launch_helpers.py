@@ -1,0 +1,103 @@
+"""Launch helpers and the application harness plumbing."""
+
+import pytest
+
+from repro.apps.common import execute, kernel_resources
+from repro.isa import Imm, KernelBuilder
+from repro.sim import (
+    FunctionalSimulator,
+    GlobalMemory,
+    LaunchConfig,
+    evenly_spaced_blocks,
+    run_full,
+    run_representative,
+)
+
+
+def tiny_kernel():
+    b = KernelBuilder("tiny")
+    r = b.reg()
+    b.mov(r, Imm(1))
+    b.fmad(r, r, r, r)
+    b.exit()
+    return b.build()
+
+
+class TestBlockSampling:
+    def test_evenly_spaced_covers_extremes(self):
+        launch = LaunchConfig(grid=(100, 1), block_threads=32)
+        sample = evenly_spaced_blocks(launch, 5)
+        assert len(sample) == 5
+        assert sample[0] == (0, 0)
+        assert all(b in launch.all_blocks() for b in sample)
+
+    def test_request_larger_than_grid(self):
+        launch = LaunchConfig(grid=(3, 1), block_threads=32)
+        assert evenly_spaced_blocks(launch, 10) == launch.all_blocks()
+
+    def test_2d_grid_ordering(self):
+        launch = LaunchConfig(grid=(2, 3), block_threads=32)
+        blocks = launch.all_blocks()
+        assert blocks[0] == (0, 0)
+        assert blocks[1] == (1, 0)  # x fastest, CUDA linearization
+        assert len(blocks) == 6
+
+    def test_representative_defaults_to_origin(self):
+        sim = FunctionalSimulator(tiny_kernel())
+        launch = LaunchConfig(grid=(6, 1), block_threads=32)
+        trace = run_representative(sim, launch)
+        assert len(trace.block_traces) == 1
+        assert trace.num_blocks == 6
+
+    def test_full_equals_scaled_representative_for_homogeneous(self):
+        sim = FunctionalSimulator(tiny_kernel())
+        launch = LaunchConfig(grid=(6, 1), block_threads=32)
+        full = run_full(sim, launch)
+        rep = run_representative(sim, launch)
+        assert (
+            full.totals.total_instructions == rep.totals.total_instructions
+        )
+
+
+class TestExecuteHarness:
+    def test_kernel_resources_derived(self):
+        kernel = tiny_kernel()
+        launch = LaunchConfig(grid=(1, 1), block_threads=64)
+        res = kernel_resources(kernel, launch)
+        assert res.threads_per_block == 64
+        assert res.registers_per_thread == kernel.num_registers
+        assert res.shared_memory_per_block == kernel.shared_memory_bytes
+
+    def test_execute_without_model_or_measure(self):
+        run = execute(
+            "t",
+            tiny_kernel(),
+            GlobalMemory(),
+            LaunchConfig(grid=(2, 1), block_threads=32),
+            measure=False,
+        )
+        assert run.report is None
+        assert run.measured is None
+        assert run.trace.num_blocks == 2
+
+    def test_execute_measures_by_default(self):
+        run = execute(
+            "t",
+            tiny_kernel(),
+            GlobalMemory(),
+            LaunchConfig(grid=(2, 1), block_threads=32),
+        )
+        assert run.measured is not None
+        assert run.measured.seconds > 0
+
+    def test_execute_with_model(self, model):
+        run = execute(
+            "t",
+            tiny_kernel(),
+            GlobalMemory(),
+            LaunchConfig(grid=(2, 1), block_threads=32),
+            model=model,
+            measure=True,
+        )
+        assert run.report is not None
+        assert run.model_error >= 0

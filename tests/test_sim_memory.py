@@ -1,0 +1,97 @@
+"""Device memory state: allocation, bounds, cacheability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.sim import GlobalMemory, SharedMemory
+
+
+class TestGlobalMemory:
+    def test_allocations_are_128_byte_aligned(self):
+        gmem = GlobalMemory()
+        for words in (1, 3, 17, 100):
+            base = gmem.alloc(words)
+            assert base % 128 == 0
+
+    def test_address_zero_unmapped(self):
+        gmem = GlobalMemory()
+        gmem.alloc(4)
+        with pytest.raises(MemoryAccessError):
+            gmem.read(np.array([0]))
+
+    def test_roundtrip_array(self):
+        gmem = GlobalMemory()
+        data = np.arange(10.0)
+        base = gmem.alloc_array(data, "buf")
+        assert np.array_equal(gmem.read_array(base, 10), data)
+
+    def test_write_then_read(self):
+        gmem = GlobalMemory()
+        base = gmem.alloc(8)
+        addrs = base + 4 * np.arange(8)
+        gmem.write(addrs, np.arange(8.0))
+        assert np.array_equal(gmem.read(addrs), np.arange(8.0))
+
+    def test_misaligned_access_rejected(self):
+        gmem = GlobalMemory()
+        base = gmem.alloc(4)
+        with pytest.raises(MemoryAccessError):
+            gmem.read(np.array([base + 2]))
+
+    def test_out_of_bounds_rejected(self):
+        gmem = GlobalMemory()
+        base = gmem.alloc(4)
+        with pytest.raises(MemoryAccessError):
+            gmem.read(np.array([base + 4 * 100]))
+
+    def test_allocation_lookup(self):
+        gmem = GlobalMemory()
+        base_a = gmem.alloc(4, "a")
+        base_b = gmem.alloc(4, "b")
+        assert gmem.allocation_at(base_a).name == "a"
+        assert gmem.allocation_at(base_b + 8).name == "b"
+        assert gmem.allocation_at(10**9) is None
+
+    def test_cacheable_marking(self):
+        gmem = GlobalMemory()
+        base = gmem.alloc(4, "x")
+        assert not gmem.is_cacheable(base)
+        gmem.mark_cacheable("x")
+        assert gmem.is_cacheable(base)
+
+    def test_mark_unknown_allocation(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalMemory().mark_cacheable("ghost")
+
+    def test_arena_grows_on_demand(self):
+        gmem = GlobalMemory(capacity_words=64)
+        base = gmem.alloc(4096, "big")
+        addrs = base + 4 * np.arange(4096)
+        gmem.write(addrs, np.ones(4096))
+        assert gmem.read(addrs).sum() == 4096
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalMemory().alloc(0)
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        smem = SharedMemory(16)
+        addrs = 4 * np.arange(16)
+        smem.write(addrs, np.arange(16.0))
+        assert np.array_equal(smem.read(addrs), np.arange(16.0))
+
+    def test_bounds_enforced(self):
+        smem = SharedMemory(4)
+        with pytest.raises(MemoryAccessError):
+            smem.read(np.array([16]))
+
+    def test_alignment_enforced(self):
+        smem = SharedMemory(4)
+        with pytest.raises(MemoryAccessError):
+            smem.write(np.array([3]), np.array([1.0]))
+
+    def test_size_bytes(self):
+        assert SharedMemory(10).size_bytes == 40

@@ -1,0 +1,94 @@
+"""Trace containers: merging, scaling, aggregation."""
+
+from collections import Counter
+
+from repro.sim import BlockTrace, StageStats, aggregate_blocks
+
+
+def stage_with(instr=0, mad=0, shared=0, ideal=0, gbytes=0, useful=0, warps=1):
+    stage = StageStats()
+    stage.instructions = Counter({"fmad": mad, "iadd": instr - mad})
+    stage.instr_by_type["II"] = instr
+    stage.mad_instructions = mad
+    stage.shared_transactions = shared
+    stage.shared_transactions_ideal = ideal
+    stage.global_transactions = {32: gbytes // 64} if gbytes else {}
+    stage.global_bytes = {32: gbytes} if gbytes else {}
+    stage.global_useful_bytes = useful
+    stage.active_warps = warps
+    return stage
+
+
+class TestStageStats:
+    def test_merge_adds_extensive_quantities(self):
+        a = stage_with(instr=10, mad=4, shared=6, ideal=3, warps=2)
+        b = stage_with(instr=5, mad=1, shared=2, ideal=2, warps=4)
+        a.merge(b)
+        assert a.total_instructions == 15
+        assert a.mad_instructions == 5
+        assert a.shared_transactions == 8
+        assert a.active_warps == 4  # max, not sum
+
+    def test_merge_by_array(self):
+        a = StageStats()
+        b = StageStats()
+        a.global_by_array = {"x": {32: (2, 64)}}
+        b.global_by_array = {"x": {32: (1, 32)}, "y": {32: (1, 128)}}
+        a.merge(b)
+        assert a.global_by_array["x"][32] == (3, 96)
+        assert a.global_by_array["y"][32] == (1, 128)
+
+    def test_scaled_multiplies_counts_not_warps(self):
+        stage = stage_with(instr=10, mad=4, shared=6, ideal=3, warps=2)
+        scaled = stage.scaled(3.0)
+        assert scaled.total_instructions == 30
+        assert scaled.shared_transactions == 18
+        assert scaled.active_warps == 2
+
+    def test_density(self):
+        stage = stage_with(instr=10, mad=8)
+        assert stage.computational_density == 0.8
+
+    def test_conflict_factor_defaults_to_one(self):
+        assert StageStats().bank_conflict_factor == 1.0
+
+    def test_coalescing_efficiency(self):
+        stage = stage_with(gbytes=128, useful=64)
+        assert stage.coalescing_efficiency(32) == 0.5
+        assert stage.coalescing_efficiency(16) == 1.0  # no data -> neutral
+
+
+class TestAggregation:
+    def _block(self, stages, block=(0, 0)):
+        return BlockTrace(block=block, stages=stages, warp_streams=[[]])
+
+    def test_stage_alignment(self):
+        t1 = self._block([stage_with(instr=4), stage_with(instr=2)])
+        t2 = self._block([stage_with(instr=6), stage_with(instr=8)], (1, 0))
+        trace = aggregate_blocks([t1, t2])
+        assert trace.num_stages == 2
+        assert trace.stages[0].total_instructions == 10
+        assert trace.stages[1].total_instructions == 10
+
+    def test_scaling_to_full_grid(self):
+        t1 = self._block([stage_with(instr=4)])
+        trace = aggregate_blocks([t1], scale_to_blocks=10)
+        assert trace.num_blocks == 10
+        assert trace.totals.total_instructions == 40
+
+    def test_scaling_preserves_active_warps(self):
+        t1 = self._block([stage_with(instr=4, warps=3)])
+        trace = aggregate_blocks([t1], scale_to_blocks=100)
+        assert trace.stages[0].active_warps == 3
+
+    def test_ragged_stage_counts_padded(self):
+        t1 = self._block([stage_with(instr=4)])
+        t2 = self._block([stage_with(instr=4), stage_with(instr=6)], (1, 0))
+        trace = aggregate_blocks([t1, t2])
+        assert trace.num_stages == 2
+        assert trace.stages[1].total_instructions == 6
+
+    def test_totals_property(self):
+        t1 = self._block([stage_with(instr=4, mad=2), stage_with(instr=6, mad=6)])
+        trace = aggregate_blocks([t1])
+        assert trace.totals.mad_instructions == 8
