@@ -21,9 +21,12 @@ def qcd():
 
 
 @pytest.fixture(scope="module")
-def runs(model, gpu, qcd):
+def runs(model, gpu, qcd, trace_cache):
     return {
-        fmt: run_spmv(qcd, fmt, model=model, gpu=gpu, sample_blocks=12)
+        fmt: run_spmv(
+            qcd, fmt, model=model, gpu=gpu, sample_blocks=12,
+            trace_cache=trace_cache,
+        )
         for fmt in FORMATS
     }
 

@@ -23,12 +23,13 @@ def qcd():
 
 
 @pytest.fixture(scope="module")
-def runs(gpu, qcd):
+def runs(gpu, qcd, trace_cache):
     out = {}
     for fmt in FORMATS:
         for cache in (False, True):
             out[(fmt, cache)] = run_spmv(
-                qcd, fmt, gpu=gpu, use_cache=cache, sample_blocks=12
+                qcd, fmt, gpu=gpu, use_cache=cache, sample_blocks=12,
+                trace_cache=trace_cache,
             )
     return out
 

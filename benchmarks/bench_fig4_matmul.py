@@ -22,9 +22,10 @@ PAPER_4B_MEASURED = {8: 6.0, 16: 5.4, 32: 5.6}
 
 
 @pytest.fixture(scope="module")
-def runs(model, gpu):
+def runs(model, gpu, trace_cache):
     return {
-        tile: run_matmul(N, tile, model=model, gpu=gpu) for tile in (8, 16, 32)
+        tile: run_matmul(N, tile, model=model, gpu=gpu, trace_cache=trace_cache)
+        for tile in (8, 16, 32)
     }
 
 

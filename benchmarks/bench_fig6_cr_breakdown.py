@@ -11,9 +11,12 @@ from repro.model import predict_without_bank_conflicts
 
 
 @pytest.fixture(scope="module")
-def runs(model, gpu):
+def runs(model, gpu, trace_cache):
     return {
-        padded: run_cr(512, 512, padded=padded, model=model, gpu=gpu)
+        padded: run_cr(
+            512, 512, padded=padded, model=model, gpu=gpu,
+            trace_cache=trace_cache,
+        )
         for padded in (False, True)
     }
 

@@ -9,8 +9,11 @@ PAPER_BANDWIDTH = {"step 1": 1029, "step 2": 723, "step 3": 470, "step 4+": 330}
 
 
 @pytest.fixture(scope="module")
-def cr_run(model, gpu):
-    return run_cr(512, 512, padded=False, model=model, gpu=gpu, measure=False)
+def cr_run(model, gpu, trace_cache):
+    return run_cr(
+        512, 512, padded=False, model=model, gpu=gpu, measure=False,
+        trace_cache=trace_cache,
+    )
 
 
 def bench_fig7a_bandwidth(benchmark, cr_run, tables, reporter):

@@ -9,9 +9,12 @@ PAPER = {"CR": (0.757, 0.796), "CR-NBC": (0.468, 0.434)}
 
 
 @pytest.fixture(scope="module")
-def runs(model, gpu):
+def runs(model, gpu, trace_cache):
     return {
-        padded: run_cr(512, 512, padded=padded, model=model, gpu=gpu)
+        padded: run_cr(
+            512, 512, padded=padded, model=model, gpu=gpu,
+            trace_cache=trace_cache,
+        )
         for padded in (False, True)
     }
 

@@ -20,11 +20,14 @@ from repro.model import (
 )
 
 
-def bench_whatif_max_blocks_16(benchmark, model, gpu, reporter):
+def bench_whatif_max_blocks_16(benchmark, model, gpu, reporter, trace_cache):
     """Paper 5.1: "if the maximum number of blocks was increased to 16
     ... more resident parallel warps".  The 8x8 tile is block-limit
     bound (16x16 is register-bound at 8 blocks either way)."""
-    run = run_matmul(1024, 8, model=model, gpu=gpu, measure=False)
+    run = run_matmul(
+        1024, 8, model=model, gpu=gpu, measure=False,
+        trace_cache=trace_cache,
+    )
 
     def generate():
         inputs = model.extract(run.trace, run.launch, run.resources)
@@ -45,9 +48,12 @@ def bench_whatif_max_blocks_16(benchmark, model, gpu, reporter):
     assert result.speedup >= 1.0
 
 
-def bench_whatif_bigger_register_file(benchmark, model, gpu, reporter):
+def bench_whatif_bigger_register_file(benchmark, model, gpu, reporter, trace_cache):
     """Paper 5.1: more registers/shared memory fix the 32x32 tile."""
-    run = run_matmul(1024, 32, model=model, gpu=gpu, measure=False)
+    run = run_matmul(
+        1024, 32, model=model, gpu=gpu, measure=False,
+        trace_cache=trace_cache,
+    )
 
     def generate():
         inputs = model.extract(run.trace, run.launch, run.resources)
@@ -63,11 +69,14 @@ def bench_whatif_bigger_register_file(benchmark, model, gpu, reporter):
     assert result.baseline.bottleneck == "shared"
 
 
-def bench_whatif_prime_banks(benchmark, model, gpu, reporter):
+def bench_whatif_prime_banks(benchmark, model, gpu, reporter, trace_cache):
     """Paper 5.2: "change the number of shared memory banks ... to a
     prime number to avoid bank conflicts" -- equivalently, conflict-free
     shared traffic for CR."""
-    run = run_cr(512, 512, model=model, gpu=gpu, measure=False)
+    run = run_cr(
+        512, 512, model=model, gpu=gpu, measure=False,
+        trace_cache=trace_cache,
+    )
 
     def generate():
         inputs = model.extract(run.trace, run.launch, run.resources)
@@ -78,10 +87,13 @@ def bench_whatif_prime_banks(benchmark, model, gpu, reporter):
     assert result.speedup > 1.3
 
 
-def bench_whatif_early_release(benchmark, model, gpu, reporter):
+def bench_whatif_early_release(benchmark, model, gpu, reporter, trace_cache):
     """Paper 5.2: "release unused hardware resources early" so more
     blocks raise warp parallelism in CR's narrow late steps."""
-    run = run_cr(512, 512, model=model, gpu=gpu, measure=False)
+    run = run_cr(
+        512, 512, model=model, gpu=gpu, measure=False,
+        trace_cache=trace_cache,
+    )
 
     def generate():
         inputs = model.extract(run.trace, run.launch, run.resources)
@@ -92,11 +104,14 @@ def bench_whatif_early_release(benchmark, model, gpu, reporter):
     assert result.speedup > 1.0
 
 
-def bench_whatif_granularity_16(benchmark, model, gpu, reporter):
+def bench_whatif_granularity_16(benchmark, model, gpu, reporter, trace_cache):
     """Paper 5.3: a 16-byte transaction granularity would raise SpMV
     performance (Fig. 11's "Global 16" bars)."""
     qcd = qcd_like()
-    run = run_spmv(qcd, "ell", model=model, gpu=gpu, measure=False, sample_blocks=12)
+    run = run_spmv(
+        qcd, "ell", model=model, gpu=gpu, measure=False, sample_blocks=12,
+        trace_cache=trace_cache,
+    )
 
     def generate():
         inputs = model.extract(run.trace, run.launch, run.resources)

@@ -16,7 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.hw import HardwareGpu
-from repro.micro import CalibrationTables, calibrate
+from repro.micro.cache import load_or_calibrate
 from repro.model import PerformanceModel
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -39,21 +39,26 @@ def gpu() -> HardwareGpu:
 
 
 @pytest.fixture(scope="session")
-def tables(gpu, results_dir) -> CalibrationTables:
-    cache = results_dir / "calibration.json"
-    if cache.exists():
-        try:
-            return CalibrationTables.load(cache, gpu=gpu)
-        except Exception:
-            cache.unlink()
-    t = calibrate(gpu, warp_counts=BENCH_WARP_COUNTS, iterations=60)
-    t.save(cache)
-    return t
+def tables(gpu, results_dir):
+    # Spec-keyed: editing the modelled architecture invalidates the
+    # cached tables instead of silently reusing stale curves.
+    return load_or_calibrate(
+        gpu,
+        path=results_dir / "calibration.json",
+        warp_counts=BENCH_WARP_COUNTS,
+        iterations=60,
+    )
 
 
 @pytest.fixture(scope="session")
 def model(tables) -> PerformanceModel:
     return PerformanceModel(tables)
+
+
+@pytest.fixture(scope="session")
+def trace_cache(results_dir) -> str:
+    """On-disk KernelTrace memo cache shared across benchmark sessions."""
+    return str(results_dir / "traces")
 
 
 class Reporter:

@@ -1,0 +1,133 @@
+"""Small-grid engine smoke benchmark (CI regression gate).
+
+Runs one matmul grid through the serial simulator and through the
+deduplicating engine, then checks three things:
+
+1. the engine's aggregate statistics are bit-identical to the serial
+   full-grid run (correctness);
+2. the engine is at least ``MIN_SPEEDUP``x faster (the whole point);
+3. the engine's absolute wall-clock has not regressed more than 2x
+   against the recorded baseline in ``engine_smoke_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_smoke.py --check
+    PYTHONPATH=src python benchmarks/engine_smoke.py --update   # rebaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.apps.matmul import build_matmul_kernel, prepare_problem
+from repro.sim.engine import SimulationEngine
+from repro.sim.functional import FunctionalSimulator
+
+BASELINE_PATH = Path(__file__).parent / "engine_smoke_baseline.json"
+
+#: Smoke configuration: 64 blocks, each with real shared-memory traffic.
+N, TILE = 256, 16
+
+#: Acceptance floor for dedup vs serial full-grid simulation.
+MIN_SPEEDUP = 5.0
+
+#: Wall-clock regression gate vs the recorded baseline.
+MAX_REGRESSION = 2.0
+
+
+def run_once() -> dict:
+    kernel = build_matmul_kernel(N, TILE)
+    launch = prepare_problem(N, TILE).launch()
+
+    serial_start = time.perf_counter()
+    serial = FunctionalSimulator(
+        kernel, gmem=prepare_problem(N, TILE).gmem
+    ).run(launch)
+    serial_seconds = time.perf_counter() - serial_start
+
+    engine_start = time.perf_counter()
+    engine = SimulationEngine(kernel, gmem=prepare_problem(N, TILE).gmem)
+    fast = engine.run(launch)
+    engine_seconds = time.perf_counter() - engine_start
+
+    identical = [s.canonical() for s in serial.stages] == [
+        s.canonical() for s in fast.stages
+    ]
+    return {
+        "n": N,
+        "tile": TILE,
+        "blocks": launch.num_blocks,
+        "serial_seconds": serial_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": serial_seconds / engine_seconds,
+        "identical": identical,
+        "engine": fast.engine_stats.summary(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true")
+    mode.add_argument("--update", action="store_true")
+    args = parser.parse_args(argv)
+
+    result = run_once()
+    print(
+        f"matmul {result['n']} tile {result['tile']} "
+        f"({result['blocks']} blocks): "
+        f"serial {result['serial_seconds']:.2f} s, "
+        f"engine {result['engine_seconds']:.2f} s "
+        f"({result['speedup']:.1f}x)"
+    )
+    print(f"engine: {result['engine']}")
+
+    if not result["identical"]:
+        print("FAIL: engine aggregates differ from serial full-grid run")
+        return 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {result['speedup']:.1f}x < {MIN_SPEEDUP}x")
+        return 1
+
+    if args.update:
+        # Record the measurement with generous headroom so the absolute
+        # gate keyed to this baseline tolerates slower (shared CI)
+        # machines; the relative MIN_SPEEDUP gate above is what catches
+        # genuine engine slowdowns.
+        padded = round(max(result["engine_seconds"] * 1.5, 1.0), 2)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "n": result["n"],
+                    "tile": result["tile"],
+                    "engine_seconds": padded,
+                    "note": (
+                        f"measured {result['engine_seconds']:.2f} s; "
+                        "recorded generously to absorb machine variance"
+                    ),
+                },
+                indent=2,
+            )
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    limit = baseline["engine_seconds"] * MAX_REGRESSION
+    if result["engine_seconds"] > limit:
+        print(
+            f"FAIL: engine wall-clock {result['engine_seconds']:.2f} s "
+            f"exceeds {MAX_REGRESSION}x recorded baseline "
+            f"({baseline['engine_seconds']:.2f} s)"
+        )
+        return 1
+    print("engine smoke benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

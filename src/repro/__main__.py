@@ -61,15 +61,36 @@ def _cmd_calibrate(args) -> int:
 def _make_model(args):
     from repro.hw import HardwareGpu
     from repro.micro import CalibrationTables, calibrate
+    from repro.micro.cache import default_calibration_path, load_or_calibrate
     from repro.model import PerformanceModel
 
     gpu = HardwareGpu()
     if args.calibration:
         tables = CalibrationTables.load(args.calibration, gpu=gpu)
-    else:
-        print("calibrating (use --calibration FILE to reuse) ...", file=sys.stderr)
+    elif getattr(args, "no_cache", False):
+        print("calibrating (cache disabled) ...", file=sys.stderr)
         tables = calibrate(gpu)
+    else:
+        path = default_calibration_path()
+        tables = load_or_calibrate(
+            gpu,
+            path=path,
+            on_calibrate=lambda: print(
+                f"calibrating (tables will be cached at {path}) ...",
+                file=sys.stderr,
+            ),
+        )
     return gpu, PerformanceModel(tables)
+
+
+def _engine_kwargs(args) -> dict:
+    """Engine knobs shared by the case-study commands."""
+    from repro.micro.cache import default_trace_cache_dir
+
+    trace_cache = None
+    if not getattr(args, "no_cache", False):
+        trace_cache = str(default_trace_cache_dir())
+    return {"workers": args.workers, "trace_cache": trace_cache}
 
 
 def _print_run(run) -> None:
@@ -82,7 +103,14 @@ def _cmd_matmul(args) -> int:
     from repro.apps.matmul import gflops, run_matmul
 
     gpu, model = _make_model(args)
-    run = run_matmul(args.n, args.tile, model=model, gpu=gpu)
+    run = run_matmul(
+        args.n,
+        args.tile,
+        model=model,
+        gpu=gpu,
+        representative=not args.full,
+        **_engine_kwargs(args),
+    )
     print(f"\nSGEMM {args.n}x{args.n}, {args.tile}x{args.tile} sub-matrices")
     _print_run(run)
     print(f"effective            : {gflops(args.n, run.measured.seconds):.0f} GFLOPS")
@@ -93,7 +121,15 @@ def _cmd_tridiag(args) -> int:
     from repro.apps.tridiag import run_cr
 
     gpu, model = _make_model(args)
-    run = run_cr(args.n, args.systems, padded=args.padded, model=model, gpu=gpu)
+    run = run_cr(
+        args.n,
+        args.systems,
+        padded=args.padded,
+        model=model,
+        gpu=gpu,
+        representative=not args.full,
+        **_engine_kwargs(args),
+    )
     name = "CR-NBC" if args.padded else "CR"
     print(f"\n{name}: {args.systems} systems x {args.n} equations")
     _print_run(run)
@@ -107,7 +143,13 @@ def _cmd_spmv(args) -> int:
     gpu, model = _make_model(args)
     matrix = qcd_like()
     run = run_spmv(
-        matrix, args.format, model=model, gpu=gpu, use_cache=args.cache
+        matrix,
+        args.format,
+        model=model,
+        gpu=gpu,
+        use_cache=args.cache,
+        sample_blocks=None if args.full else 12,
+        **_engine_kwargs(args),
     )
     print(f"\nSpMV {args.format} on synthetic QCD ({matrix.n}^2)")
     _print_run(run)
@@ -132,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         case = sub.add_parser(name, help=f"run the {name} case study")
         case.add_argument(
             "--calibration", help="reuse a saved calibration JSON"
+        )
+        case.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="skip the default calibration/trace caches (~/.cache/repro)",
+        )
+        case.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="process-pool width for the simulation engine (0 = in-process)",
+        )
+        case.add_argument(
+            "--full",
+            action="store_true",
+            help="simulate the full grid (deduplicated, exact) instead of a "
+            "representative sample",
         )
         if name == "matmul":
             case.add_argument("--n", type=int, default=512)

@@ -17,6 +17,7 @@ from repro.hw.gpu import HardwareGpu, MeasuredRun
 from repro.isa.program import Kernel
 from repro.model.performance import PerformanceModel
 from repro.model.report import PerformanceReport
+from repro.sim.engine import SimulationEngine
 from repro.sim.functional import FunctionalSimulator, LaunchConfig
 from repro.sim.memory import GlobalMemory
 from repro.sim.trace import KernelTrace
@@ -69,14 +70,34 @@ def execute(
     measure: bool = True,
     spec: GpuSpec = GTX285,
     use_cache: bool = False,
+    engine: bool = True,
+    workers: int = 0,
+    trace_cache: str | None = None,
 ) -> AppRun:
     """Run the full workflow on one kernel launch.
 
     ``sample_blocks=None`` simulates the whole grid (exact);
     a sample list scales statistics to the grid (representative mode).
+
+    ``engine=True`` (default) routes the functional simulation through
+    :class:`SimulationEngine` -- block deduplication on full grids,
+    optional ``workers``-wide process fan-out, and an on-disk trace memo
+    cache at ``trace_cache``.  Pass ``engine=False`` when the *numerical*
+    results must land in ``gmem`` (validation paths): the engine only
+    guarantees the statistics, not replicated blocks' memory writes.
     """
-    simulator = FunctionalSimulator(kernel, gmem=gmem, spec=spec)
-    trace = simulator.run(launch, blocks=sample_blocks)
+    if engine:
+        sim_engine = SimulationEngine(
+            kernel,
+            gmem=gmem,
+            spec=spec,
+            workers=workers,
+            cache_dir=trace_cache,
+        )
+        trace = sim_engine.run(launch, blocks=sample_blocks)
+    else:
+        simulator = FunctionalSimulator(kernel, gmem=gmem, spec=spec)
+        trace = simulator.run(launch, blocks=sample_blocks)
     resources = kernel_resources(kernel, launch)
     occupancy = compute_occupancy(spec, resources)
 

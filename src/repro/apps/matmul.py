@@ -185,11 +185,15 @@ def run_matmul(
     representative: bool = True,
     measure: bool = True,
     seed: int = 7,
+    workers: int = 0,
+    trace_cache: str | None = None,
 ) -> AppRun:
     """Full workflow on one tile size.
 
     Representative mode simulates block (0, 0) and scales -- every block
-    executes the identical instruction sequence, so statistics are exact.
+    executes the identical instruction sequence, so statistics are
+    exact.  ``representative=False`` covers the full grid through the
+    deduplicating engine (exact multiplicities, no extrapolation).
     """
     problem = prepare_problem(n, tile, seed)
     kernel = build_matmul_kernel(n, tile)
@@ -203,6 +207,8 @@ def run_matmul(
         model=model,
         gpu=gpu,
         measure=measure,
+        workers=workers,
+        trace_cache=trace_cache,
     )
 
 
@@ -217,6 +223,7 @@ def validate_matmul(n: int, tile: int, seed: int = 3) -> float:
         launch=problem.launch(),
         sample_blocks=None,
         measure=False,
+        engine=False,  # numerical results must land in gmem
     )
     return float(np.max(np.abs(problem.result() - problem.reference())))
 

@@ -243,6 +243,8 @@ def run_spmv(
     sample_blocks: int | None = 12,
     measure: bool = True,
     seed: int = 13,
+    workers: int = 0,
+    trace_cache: str | None = None,
 ) -> AppRun:
     """Full workflow on one storage format.
 
@@ -250,6 +252,9 @@ def run_spmv(
     grid, exact); samples are spread evenly so data-dependent vector
     access patterns are representative (paper Section 3: dynamic
     statistics "enable us to handle data-dependent applications").
+    SpMV traces are data-dependent, so the engine cannot deduplicate
+    blocks -- ``workers`` fans the full grid out across processes and
+    ``trace_cache`` memoizes repeat launches instead.
     """
     problem = prepare_problem(matrix, fmt, seed)
     kernel = build_kernel_for(problem)
@@ -269,6 +274,8 @@ def run_spmv(
         gpu=gpu,
         measure=measure,
         use_cache=use_cache,
+        workers=workers,
+        trace_cache=trace_cache,
     )
 
 
@@ -283,6 +290,7 @@ def validate_spmv(matrix: BlockSparseMatrix, fmt: str, seed: int = 9) -> float:
         launch=problem.launch(record_segments=False),
         sample_blocks=None,
         measure=False,
+        engine=False,  # numerical results must land in gmem
     )
     return float(np.max(np.abs(problem.result() - problem.reference())))
 

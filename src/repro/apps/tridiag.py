@@ -337,6 +337,8 @@ def run_cr(
     representative: bool = True,
     measure: bool = True,
     seed: int = 11,
+    workers: int = 0,
+    trace_cache: str | None = None,
 ) -> AppRun:
     """The paper's experiment: 512 512-equation systems, CR or CR-NBC."""
     problem = prepare_problem(n, num_systems, seed)
@@ -351,6 +353,8 @@ def run_cr(
         model=model,
         gpu=gpu,
         measure=measure,
+        workers=workers,
+        trace_cache=trace_cache,
     )
 
 
@@ -367,6 +371,7 @@ def validate_cr(
         launch=problem.launch(),
         sample_blocks=None,
         measure=False,
+        engine=False,  # numerical results must land in gmem
     )
     return float(np.max(np.abs(problem.solution() - problem.reference())))
 

@@ -1,5 +1,12 @@
 """Microbenchmarks: instruction pipeline, shared memory, global memory."""
 
+from repro.micro.cache import (
+    default_cache_dir,
+    default_calibration_path,
+    default_trace_cache_dir,
+    load_or_calibrate,
+    spec_fingerprint,
+)
 from repro.micro.calibration import CalibrationTables, calibrate, default_tables
 from repro.micro.codegen import (
     buffer_words_for_stream,
@@ -42,8 +49,13 @@ __all__ = [
     "blocks_for_warps",
     "buffer_words_for_stream",
     "calibrate",
+    "default_cache_dir",
+    "default_calibration_path",
     "default_tables",
+    "default_trace_cache_dir",
     "global_stream_benchmark",
+    "load_or_calibrate",
+    "spec_fingerprint",
     "instruction_benchmark",
     "measure_instruction_throughput",
     "measure_shared_bandwidth",

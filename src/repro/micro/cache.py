@@ -1,0 +1,115 @@
+"""Spec-keyed on-disk caching for calibration tables.
+
+Calibration (the Fig. 2 microbenchmark sweeps) dominates CLI start-up:
+tens of seconds to answer questions the analytical model then settles in
+microseconds.  The tables only depend on the architecture spec and the
+sweep configuration, so they are cached under a default path
+(``~/.cache/repro/calibration.json``, override the root with the
+``REPRO_CACHE_DIR`` environment variable) and invalidated whenever the
+spec or sweep parameters change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.hw.gpu import HardwareGpu
+from repro.micro.calibration import (
+    CALIBRATION_CACHE_VERSION,
+    CalibrationTables,
+    calibrate,
+)
+from repro.micro.instruction import DEFAULT_WARP_COUNTS
+from repro.util import atomic_write_bytes, spec_fingerprint
+
+#: Environment variable overriding the cache root (tests, CI).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def default_calibration_path() -> Path:
+    return default_cache_dir() / "calibration.json"
+
+
+def default_trace_cache_dir() -> Path:
+    """Directory for the simulation engine's KernelTrace memo cache."""
+    return default_cache_dir() / "traces"
+
+
+def _sweep_key(warp_counts: tuple[int, ...], iterations: int) -> list:
+    return [list(warp_counts), iterations]
+
+
+def load_or_calibrate(
+    gpu: HardwareGpu | None = None,
+    path: str | os.PathLike | None = None,
+    warp_counts: tuple[int, ...] = DEFAULT_WARP_COUNTS,
+    iterations: int = 60,
+    force: bool = False,
+    on_calibrate=None,
+) -> CalibrationTables:
+    """Return cached calibration tables, re-running microbenchmarks only
+    when the cache is missing, malformed, or keyed to a different spec or
+    sweep configuration.  ``on_calibrate`` is invoked (with no args)
+    right before an actual calibration run -- missing *or* invalidated
+    cache -- so callers can surface slow-path progress."""
+    gpu = gpu or HardwareGpu()
+    target = Path(path) if path is not None else default_calibration_path()
+    fingerprint = spec_fingerprint(gpu.spec)
+    sweep = _sweep_key(warp_counts, iterations)
+
+    if not force:
+        tables = _try_load(target, gpu, fingerprint, sweep)
+        if tables is not None:
+            return tables
+
+    if on_calibrate is not None:
+        on_calibrate()
+    tables = calibrate(gpu, warp_counts=warp_counts, iterations=iterations)
+    save_calibration(tables, target, fingerprint, sweep)
+    return tables
+
+
+def save_calibration(
+    tables: CalibrationTables,
+    path: Path,
+    fingerprint: str,
+    sweep: list,
+) -> None:
+    payload = {
+        "version": CALIBRATION_CACHE_VERSION,
+        "spec": fingerprint,
+        "sweep": sweep,
+        "tables": json.loads(tables.to_json()),
+    }
+    atomic_write_bytes(path, json.dumps(payload, indent=2).encode())
+
+
+def _try_load(
+    path: Path, gpu: HardwareGpu, fingerprint: str, sweep: list
+) -> CalibrationTables | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != CALIBRATION_CACHE_VERSION:
+        return None
+    if payload.get("spec") != fingerprint or payload.get("sweep") != sweep:
+        return None
+    try:
+        return CalibrationTables.from_json(
+            json.dumps(payload["tables"]), gpu=gpu
+        )
+    except Exception:
+        return None

@@ -20,6 +20,10 @@ from repro.micro.instruction import (
     measure_instruction_throughput,
 )
 from repro.micro.shared import SharedBandwidthTable, measure_shared_bandwidth
+from repro.util import spec_fingerprint
+
+#: Bump when the on-disk calibration file schema changes.
+CALIBRATION_CACHE_VERSION = 1
 
 
 @dataclass
@@ -85,6 +89,27 @@ class CalibrationTables:
     ) -> "CalibrationTables":
         try:
             payload = json.loads(text)
+            if isinstance(payload, dict) and "warp_counts" not in payload:
+                # Spec-keyed cache files (repro.micro.cache) wrap the
+                # tables in {version, spec, sweep, tables}; accept them
+                # so --calibration can point at the default cache, but
+                # only when the schema version matches and the tables
+                # were measured for the spec being modelled.
+                if payload.get("version") != CALIBRATION_CACHE_VERSION:
+                    raise CalibrationError(
+                        "calibration cache file has schema version "
+                        f"{payload.get('version')!r}, expected "
+                        f"{CALIBRATION_CACHE_VERSION}; recalibrate"
+                    )
+                if gpu is not None and payload.get(
+                    "spec"
+                ) != spec_fingerprint(gpu.spec):
+                    raise CalibrationError(
+                        "calibration cache file was measured for a "
+                        "different architecture spec; recalibrate or "
+                        "pass tables saved with `repro calibrate`"
+                    )
+                payload = payload["tables"]
             instruction = InstructionThroughputTable(
                 tuple(payload["warp_counts"]),
                 {k: tuple(v) for k, v in payload["instruction"].items()},

@@ -16,6 +16,7 @@ Implements the paper's Section 3 methodology:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.arch.occupancy import KernelResources, Occupancy, compute_occupancy
@@ -80,9 +81,13 @@ class PerformanceModel:
         granularity: int = 32,
     ) -> PerformanceReport:
         """Full pipeline: extract inputs, then analyze them."""
-        return self.analyze_inputs(
+        report = self.analyze_inputs(
             self.extract(trace, launch, resources, granularity)
         )
+        engine_stats = getattr(trace, "engine_stats", None)
+        if engine_stats is not None:
+            report = dataclasses.replace(report, engine_stats=engine_stats)
+        return report
 
     def analyze_inputs(self, inputs: ModelInputs) -> PerformanceReport:
         """Component times, per-stage and whole-program bottlenecks."""

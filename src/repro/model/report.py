@@ -44,7 +44,13 @@ class Diagnostics:
 
 @dataclass(frozen=True)
 class PerformanceReport:
-    """Everything the model concludes about one kernel launch."""
+    """Everything the model concludes about one kernel launch.
+
+    ``engine_stats`` is present when the trace came through the
+    simulation engine (:mod:`repro.sim.engine`): how many blocks were
+    actually simulated vs replicated, and whether the on-disk trace
+    cache hit -- so the engine's speedups are observable in reports.
+    """
 
     stages: tuple[StageAnalysis, ...]
     serialized: bool
@@ -53,6 +59,7 @@ class PerformanceReport:
     bottleneck: str
     inputs: ModelInputs
     diagnostics: Diagnostics
+    engine_stats: object | None = None
 
     @property
     def predicted_milliseconds(self) -> float:
@@ -83,6 +90,8 @@ class PerformanceReport:
             f"coalescing efficiency: {self.diagnostics.coalescing_efficiency:.1%}",
             f"warps per SM         : {self.diagnostics.warps_per_sm}",
         ]
+        if self.engine_stats is not None:
+            lines.append(f"engine               : {self.engine_stats.summary()}")
         if self.diagnostics.causes:
             lines.append("causes:")
             lines.extend(f"  - {cause}" for cause in self.diagnostics.causes)

@@ -1,5 +1,14 @@
 """Functional SIMT simulation (the paper's Barra analogue)."""
 
+from repro.sim.engine import (
+    EngineStats,
+    KernelDependence,
+    SimulationEngine,
+    TraceCache,
+    analyze_dependence,
+    kernel_fingerprint,
+    partition_blocks,
+)
 from repro.sim.functional import FunctionalSimulator, LaunchConfig
 from repro.sim.launch import (
     evenly_spaced_blocks,
@@ -21,11 +30,13 @@ from repro.sim.trace import (
     TYPE_INDEX,
     TYPE_NAMES,
     aggregate_blocks,
+    aggregate_weighted,
 )
 
 __all__ = [
     "Allocation",
     "BlockTrace",
+    "EngineStats",
     "EV_ARITH",
     "EV_ARITH_SHARED",
     "EV_BAR",
@@ -34,15 +45,22 @@ __all__ = [
     "EV_SHARED",
     "FunctionalSimulator",
     "GlobalMemory",
+    "KernelDependence",
     "KernelTrace",
     "LaunchConfig",
     "SharedMemory",
+    "SimulationEngine",
     "StageStats",
     "TYPE_INDEX",
     "TYPE_NAMES",
+    "TraceCache",
     "aggregate_blocks",
+    "aggregate_weighted",
+    "analyze_dependence",
     "evenly_spaced_blocks",
+    "kernel_fingerprint",
     "make_simulator",
+    "partition_blocks",
     "run_full",
     "run_representative",
 ]

@@ -1,0 +1,698 @@
+"""Deduplicating, parallel, memoizing simulation engine.
+
+Whole-grid functional simulation in Python is the pipeline's bottleneck:
+the analytical model answers in microseconds what a serial
+:meth:`FunctionalSimulator.run` over thousands of blocks takes minutes
+to produce.  The kernels the paper studies are *homogeneous* -- most
+blocks execute the same instruction sequence with the same transaction
+pattern -- so the engine exploits that structure instead of brute force:
+
+1. **Deduplication.**  A one-pass taint analysis over the static kernel
+   (:func:`analyze_dependence`) determines how block coordinates and
+   memory contents can influence control flow and addressing.  Blocks
+   are partitioned into equivalence classes accordingly: one class for
+   fully block-uniform kernels, boundary-role classes (first/interior/
+   last per grid dimension) when ``ctaid`` reaches a guard, and
+   singleton classes when traces are data-dependent.  One representative
+   per class is simulated and its :class:`BlockTrace` is replicated with
+   the exact class multiplicity (:func:`aggregate_weighted` -- no
+   representative-sample extrapolation).
+2. **Probe verification.**  Taint analysis is conservative about what it
+   *refuses* to dedup, but it cannot prove that block-dependent global
+   addresses preserve coalescing.  Every multi-member class is therefore
+   verified by also simulating a second member and comparing behavioural
+   fingerprints (:meth:`BlockTrace.stats_key`); on mismatch the class is
+   demoted and every member is simulated individually.
+3. **Parallel fan-out.**  Blocks that do need simulating are distributed
+   over a ``multiprocessing`` pool (``workers`` > 1).  Workers only
+   produce statistics; global-memory *writes* stay in the worker, so the
+   engine is a statistics pipeline -- numerical validation should use
+   :class:`FunctionalSimulator` directly.
+4. **Memoization.**  Aggregated :class:`KernelTrace` results can be
+   cached on disk keyed by (kernel fingerprint, launch, spec, global
+   memory digest), so CLIs and benchmark harnesses replay instantly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass, replace
+
+from repro.arch.specs import GpuSpec, GTX285
+from repro.errors import LaunchError
+from repro.isa.instructions import MemRef, Pred, Reg, Special
+from repro.isa.opcodes import OpKind
+from repro.isa.program import Kernel
+from repro.sim.functional import FunctionalSimulator, LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.util import atomic_write_bytes, spec_fingerprint
+from repro.sim.trace import (
+    BlockTrace,
+    KernelTrace,
+    aggregate_blocks,
+    aggregate_weighted,
+)
+
+#: Bump when trace or aggregation semantics change: invalidates caches.
+ENGINE_CACHE_VERSION = 1
+
+#: Taint bits.
+TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
+TAINT_DATA = 2  # value depends on global-memory contents
+
+_BLOCK_SPECIALS = ("ctaid_x", "ctaid_y")
+
+
+# ----------------------------------------------------------------------
+# static dependence (taint) analysis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelDependence:
+    """How block coordinates and data can influence a block's trace."""
+
+    control: int  # taint of any guard / branch predicate
+    shared_addr: int  # taint of any shared-memory address
+    global_addr: int  # taint of any global-memory address
+
+    @property
+    def data_dependent(self) -> bool:
+        """Traces can differ with memory contents: no cross-block dedup."""
+        return bool(
+            (self.control | self.shared_addr | self.global_addr) & TAINT_DATA
+        )
+
+    @property
+    def block_in_control(self) -> bool:
+        return bool((self.control | self.shared_addr) & TAINT_BLOCK)
+
+    @property
+    def block_in_addresses(self) -> bool:
+        return bool(self.global_addr & TAINT_BLOCK)
+
+
+class _TaintState:
+    """Abstract machine state at one program point."""
+
+    __slots__ = ("regs", "preds", "smem")
+
+    def __init__(self, num_regs: int, num_preds: int) -> None:
+        self.regs = [0] * max(num_regs, 1)
+        self.preds = [0] * max(num_preds, 1)
+        self.smem = 0
+
+    def copy(self) -> "_TaintState":
+        out = _TaintState.__new__(_TaintState)
+        out.regs = list(self.regs)
+        out.preds = list(self.preds)
+        out.smem = self.smem
+        return out
+
+    def join(self, other: "_TaintState") -> bool:
+        """Merge ``other`` in; returns True when anything widened."""
+        changed = False
+        for i, taint in enumerate(other.regs):
+            if self.regs[i] | taint != self.regs[i]:
+                self.regs[i] |= taint
+                changed = True
+        for i, taint in enumerate(other.preds):
+            if self.preds[i] | taint != self.preds[i]:
+                self.preds[i] |= taint
+                changed = True
+        if self.smem | other.smem != self.smem:
+            self.smem |= other.smem
+            changed = True
+        return changed
+
+    def operand(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return self.regs[operand.index]
+        if isinstance(operand, Pred):
+            return self.preds[operand.index]
+        if isinstance(operand, Special):
+            return TAINT_BLOCK if operand.name in _BLOCK_SPECIALS else 0
+        if isinstance(operand, MemRef):
+            # Shared-memory operand of an arithmetic instruction: its
+            # value is whatever any store put there.
+            base = self.regs[operand.base.index] if operand.base else 0
+            return self.smem | base
+        return 0  # Imm
+
+
+def analyze_dependence(kernel: Kernel) -> KernelDependence:
+    """Flow-sensitive taint analysis over the kernel's CFG.
+
+    A worklist abstract interpretation propagates, per program point,
+    which registers/predicates depend on the block coordinates
+    (``ctaid_*``) or on global-memory contents.  ``tid``, ``ntid``,
+    ``nctaid_*`` and launch parameters are launch-uniform and carry no
+    taint.  Flow-sensitivity matters: hand-scheduled kernels reuse dead
+    staging registers (e.g. matmul's prologue scratch later holds loaded
+    data), and a flow-insensitive analysis would smear that data taint
+    onto the address arithmetic computed before the reuse.
+
+    Guarded writes are weak updates (inactive lanes keep the old value);
+    branches conservatively fall through as well as jump, which merges a
+    superset of the genuinely reachable states.
+    """
+    instructions = kernel.instructions
+    n = len(instructions)
+    control = shared_addr = global_addr = 0
+
+    states: list[_TaintState | None] = [None] * n
+    states[0] = _TaintState(kernel.num_registers, kernel.num_predicates)
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        state = states[index].copy()
+        instr = instructions[index]
+        kind = instr.opcode.kind
+
+        guard_taint = (
+            state.preds[instr.guard[0].index] if instr.guard else 0
+        )
+        # A guard shapes the active mask, hence the recorded statistics,
+        # even on non-branch instructions.
+        control |= guard_taint
+        src_taint = guard_taint
+        for src in instr.srcs:
+            src_taint |= state.operand(src)
+            if isinstance(src, MemRef) and src.space == "shared" and src.base:
+                shared_addr |= state.regs[src.base.index]
+
+        successors = []
+        if kind == OpKind.BRANCH:
+            control |= src_taint
+            successors.append(kernel.labels[instr.target])
+            if index + 1 < n:
+                successors.append(index + 1)
+        elif kind == OpKind.EXIT:
+            # Divergent warps continue past a lane-partial exit.
+            if index + 1 < n:
+                successors.append(index + 1)
+        else:
+            if kind == OpKind.SETP:
+                old = state.preds[instr.dst.index] if instr.guard else 0
+                state.preds[instr.dst.index] = old | src_taint
+            elif kind == OpKind.LOAD_GLOBAL:
+                ref = instr.srcs[0]
+                base = state.regs[ref.base.index] if ref.base else 0
+                global_addr |= base | guard_taint
+                old = state.regs[instr.dst.index] if instr.guard else 0
+                state.regs[instr.dst.index] = old | TAINT_DATA | guard_taint
+            elif kind == OpKind.STORE_GLOBAL:
+                base = (
+                    state.regs[instr.dst.base.index] if instr.dst.base else 0
+                )
+                global_addr |= base | guard_taint
+            elif kind == OpKind.LOAD_SHARED:
+                ref = instr.srcs[0]
+                base = state.regs[ref.base.index] if ref.base else 0
+                shared_addr |= base | guard_taint
+                old = state.regs[instr.dst.index] if instr.guard else 0
+                state.regs[instr.dst.index] = old | state.smem | guard_taint
+            elif kind == OpKind.STORE_SHARED:
+                base = (
+                    state.regs[instr.dst.base.index] if instr.dst.base else 0
+                )
+                shared_addr |= base | guard_taint
+                state.smem |= src_taint
+            elif isinstance(instr.dst, Reg):
+                old = state.regs[instr.dst.index] if instr.guard else 0
+                state.regs[instr.dst.index] = old | src_taint
+            if index + 1 < n:
+                successors.append(index + 1)
+
+        for successor in successors:
+            if states[successor] is None:
+                states[successor] = state.copy()
+                worklist.append(successor)
+            elif states[successor].join(state):
+                worklist.append(successor)
+
+    return KernelDependence(
+        control=control, shared_addr=shared_addr, global_addr=global_addr
+    )
+
+
+# ----------------------------------------------------------------------
+# block partitioning
+# ----------------------------------------------------------------------
+@dataclass
+class BlockClass:
+    """A set of blocks believed to produce identical traces."""
+
+    members: list[tuple[int, int]]
+
+    @property
+    def representative(self) -> tuple[int, int]:
+        return self.members[0]
+
+    @property
+    def verifiers(self) -> tuple[tuple[int, int], ...]:
+        """Extra members simulated to confirm the equivalence claim.
+
+        Three probes when available: the representative's *neighbour*
+        (catches parity/phase patterns a same-phase distant pick would
+        miss), the *median* member (catches drift across the class),
+        and the *last* member.  The last probe makes the class sound
+        for any per-block activity pattern that is monotone in member
+        order -- e.g. a ``gid < n`` tail guard whose cutoff falls
+        strictly inside the class: if first and last members agree, no
+        monotone cutoff can separate the members between them.
+        """
+        if len(self.members) < 2:
+            return ()
+        picks = {
+            self.members[1],
+            self.members[len(self.members) // 2],
+            self.members[-1],
+        }
+        picks.discard(self.representative)
+        return tuple(sorted(picks))
+
+
+def _role(index: int, extent: int) -> int:
+    """Boundary role of a block index: first, interior, or last."""
+    if index == 0:
+        return 0
+    if index == extent - 1:
+        return 2
+    return 1
+
+
+def partition_blocks(
+    launch: LaunchConfig, dependence: KernelDependence
+) -> list[BlockClass]:
+    """Partition the grid into candidate equivalence classes."""
+    blocks = launch.all_blocks()
+    if dependence.data_dependent:
+        return [BlockClass([block]) for block in blocks]
+    if dependence.block_in_control:
+        gx, gy = launch.grid
+        by_role: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for bx, by in blocks:
+            by_role.setdefault((_role(bx, gx), _role(by, gy)), []).append(
+                (bx, by)
+            )
+        return [BlockClass(members) for members in by_role.values()]
+    # Block coordinates reach at most global addresses (uniform base
+    # shifts); the whole grid is one candidate class, probe-verified.
+    return [BlockClass(blocks)]
+
+
+# ----------------------------------------------------------------------
+# engine statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineStats:
+    """What the engine did for one launch (rendered in reports).
+
+    ``replicated_blocks``/``block_classes`` only mean something in
+    ``dedup`` mode (exact replication); in ``sample`` mode the trace is
+    a scaled extrapolation and both are zero.
+    """
+
+    total_blocks: int
+    simulated_blocks: int
+    replicated_blocks: int
+    block_classes: int
+    probe_fallbacks: int
+    workers: int
+    cache_hit: bool
+    wall_seconds: float
+    mode: str  # 'dedup' | 'full' | 'sample'
+
+    def summary(self) -> str:
+        cache = "cache hit" if self.cache_hit else "cache miss"
+        if self.mode == "dedup":
+            detail = (
+                f"{self.replicated_blocks} replicated, "
+                f"{self.block_classes} classes, dedup"
+            )
+        elif self.mode == "sample":
+            detail = "representative sample, scaled"
+        else:
+            detail = "full grid"
+        return (
+            f"{self.simulated_blocks}/{self.total_blocks} blocks simulated "
+            f"({detail}, {cache}, {self.wall_seconds * 1e3:.1f} ms)"
+        )
+
+
+# ----------------------------------------------------------------------
+# fingerprints and the on-disk cache
+# ----------------------------------------------------------------------
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Stable content hash of a kernel's code and static resources."""
+    h = hashlib.sha256()
+    h.update(kernel.name.encode())
+    for instr in kernel.instructions:
+        h.update(repr(instr).encode())
+    h.update(repr(sorted(kernel.labels.items())).encode())
+    h.update(repr(kernel.params).encode())
+    h.update(repr(sorted(kernel.param_regs.items())).encode())
+    h.update(
+        f"{kernel.num_registers}:{kernel.num_predicates}:"
+        f"{kernel.shared_memory_words}".encode()
+    )
+    return h.hexdigest()
+
+
+def _launch_key(launch: LaunchConfig) -> tuple:
+    return (
+        launch.grid,
+        launch.block_threads,
+        tuple(sorted(launch.params.items())),
+        launch.granularities,
+        launch.record_segments,
+    )
+
+
+class TraceCache:
+    """Pickled :class:`KernelTrace` results keyed by content hashes."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.trace.pkl")
+
+    def load(self, key: str) -> KernelTrace | None:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Fail open: unpickling arbitrary bytes can raise nearly
+            # anything; a broken cache entry is a miss, never a crash.
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != ENGINE_CACHE_VERSION:
+            return None
+        trace = payload.get("trace")
+        return trace if isinstance(trace, KernelTrace) else None
+
+    def store(self, key: str, trace: KernelTrace) -> None:
+        payload = {"version": ENGINE_CACHE_VERSION, "trace": trace}
+        # A cold cache is never an error: atomic_write_bytes fails open.
+        atomic_write_bytes(
+            self._path(key),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+
+# ----------------------------------------------------------------------
+# multiprocessing plumbing
+# ----------------------------------------------------------------------
+_WORKER_STATE: tuple[FunctionalSimulator, LaunchConfig] | None = None
+
+
+def _init_worker(kernel, gmem, spec, max_warp_instructions, launch) -> None:
+    global _WORKER_STATE
+    simulator = FunctionalSimulator(
+        kernel,
+        gmem=gmem,
+        spec=spec,
+        max_warp_instructions=max_warp_instructions,
+    )
+    _WORKER_STATE = (simulator, launch)
+
+
+def _run_block_task(block: tuple[int, int]) -> BlockTrace:
+    simulator, launch = _WORKER_STATE
+    return simulator.run_block(launch, block)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class SimulationEngine:
+    """Fast functional-simulation frontend for the analysis pipeline.
+
+    Parameters
+    ----------
+    kernel, gmem, spec, max_warp_instructions:
+        Forwarded to the underlying :class:`FunctionalSimulator`.
+    workers:
+        Process-pool width for fanning out unique blocks.  ``0`` or
+        ``1`` simulates in-process (and is the only mode whose global
+        memory writes are observable to the caller).
+    cache_dir:
+        Directory for the on-disk :class:`KernelTrace` memo cache;
+        ``None`` disables memoization.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        gmem: GlobalMemory | None = None,
+        spec: GpuSpec = GTX285,
+        workers: int = 0,
+        cache_dir: str | os.PathLike | None = None,
+        max_warp_instructions: int = 50_000_000,
+    ) -> None:
+        self.kernel = kernel
+        self.gmem = gmem if gmem is not None else GlobalMemory()
+        self.spec = spec
+        self.workers = max(0, int(workers))
+        self.max_warp_instructions = max_warp_instructions
+        self.simulator = FunctionalSimulator(
+            kernel,
+            gmem=self.gmem,
+            spec=spec,
+            max_warp_instructions=max_warp_instructions,
+        )
+        self.dependence = analyze_dependence(kernel)
+        self.cache = TraceCache(cache_dir) if cache_dir is not None else None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]] | None = None,
+        dedup: bool = True,
+    ) -> KernelTrace:
+        """Drop-in replacement for :meth:`FunctionalSimulator.run`.
+
+        ``blocks=None`` covers the full grid -- deduplicated and exact
+        unless ``dedup=False`` forces one simulation per block.  A
+        ``blocks`` sample reproduces the representative methodology
+        (per-stage scaling, ``exact=False`` unless the sample is the
+        grid).
+        """
+        started = time.perf_counter()
+        if blocks is not None:
+            blocks = list(blocks)
+            if not blocks:
+                raise LaunchError("no blocks selected")
+        key = self._cache_key(launch, blocks, dedup) if self.cache else None
+        if key is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                stats = cached.engine_stats
+                if isinstance(stats, EngineStats):
+                    stats = replace(
+                        stats,
+                        cache_hit=True,
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                cached.engine_stats = stats
+                return cached
+
+        if blocks is not None:
+            trace, stats = self._run_sample(launch, list(blocks), started)
+        elif not dedup:
+            trace, stats = self._run_full(launch, started)
+        else:
+            trace, stats = self._run_dedup(launch, started)
+        trace.engine_stats = stats
+
+        if key is not None:
+            self.cache.store(key, trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _stats(
+        self,
+        launch: LaunchConfig,
+        simulated: int,
+        classes: int,
+        fallbacks: int,
+        mode: str,
+        started: float,
+    ) -> EngineStats:
+        total = launch.num_blocks
+        return EngineStats(
+            total_blocks=total,
+            simulated_blocks=simulated,
+            replicated_blocks=(
+                max(total - simulated, 0) if mode == "dedup" else 0
+            ),
+            block_classes=classes if mode == "dedup" else 0,
+            probe_fallbacks=fallbacks,
+            workers=self.workers,
+            cache_hit=False,
+            wall_seconds=time.perf_counter() - started,
+            mode=mode,
+        )
+
+    def _run_sample(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]],
+        started: float,
+    ) -> tuple[KernelTrace, EngineStats]:
+        traces = self._simulate(launch, blocks)
+        trace = aggregate_blocks(traces, scale_to_blocks=launch.num_blocks)
+        stats = self._stats(launch, len(blocks), 0, 0, "sample", started)
+        return trace, stats
+
+    def _run_full(
+        self, launch: LaunchConfig, started: float
+    ) -> tuple[KernelTrace, EngineStats]:
+        blocks = launch.all_blocks()
+        traces = self._simulate(launch, blocks)
+        trace = aggregate_blocks(traces)
+        stats = self._stats(launch, len(blocks), 0, 0, "full", started)
+        return trace, stats
+
+    def _run_dedup(
+        self, launch: LaunchConfig, started: float
+    ) -> tuple[KernelTrace, EngineStats]:
+        classes = partition_blocks(launch, self.dependence)
+
+        # Phase 1: representatives plus the verification members of
+        # every multi-member class, all simulated in one (possibly
+        # parallel) batch.
+        probe_blocks: list[tuple[int, int]] = []
+        for cls in classes:
+            probe_blocks.append(cls.representative)
+            probe_blocks.extend(cls.verifiers)
+        probe_traces = dict(
+            zip(probe_blocks, self._simulate(launch, probe_blocks))
+        )
+
+        # Phase 2: verify; classes with any disagreeing probe are
+        # demoted and every member is simulated individually.
+        fallback_blocks: list[tuple[int, int]] = []
+        demoted: set[int] = set()
+        for index, cls in enumerate(classes):
+            if not cls.verifiers:
+                continue
+            rep_key = probe_traces[cls.representative].stats_key()
+            if any(
+                probe_traces[v].stats_key() != rep_key
+                for v in cls.verifiers
+            ):
+                demoted.add(index)
+                fallback_blocks.extend(
+                    b for b in cls.members if b not in probe_traces
+                )
+        fallback_traces = dict(
+            zip(fallback_blocks, self._simulate(launch, fallback_blocks))
+        )
+        simulated_traces = {**probe_traces, **fallback_traces}
+
+        # Phase 3: exact aggregation with per-class multiplicities, and
+        # a per-block trace table so the timing simulator sees the right
+        # stream at every block index.
+        entries: list[tuple[BlockTrace, int]] = []
+        trace_for: dict[tuple[int, int], BlockTrace] = {}
+        for index, cls in enumerate(classes):
+            if index not in demoted:
+                # Verifier traces equal the representative's, so one
+                # entry with the full multiplicity is exact.
+                rep_trace = simulated_traces[cls.representative]
+                entries.append((rep_trace, len(cls.members)))
+                for member in cls.members:
+                    trace_for[member] = rep_trace
+            else:
+                for member in cls.members:
+                    member_trace = simulated_traces[member]
+                    entries.append((member_trace, 1))
+                    trace_for[member] = member_trace
+
+        trace = aggregate_weighted(
+            [t for t, _ in entries], [m for _, m in entries]
+        )
+        if len(entries) == 1:
+            # Homogeneous grid: a single representative lets the timing
+            # simulator use its fast wave-extrapolation path.
+            trace.block_traces = [entries[0][0]]
+        else:
+            trace.block_traces = [
+                trace_for[b] for b in launch.all_blocks()
+            ]
+        stats = self._stats(
+            launch,
+            len(simulated_traces),
+            len(classes),
+            len(demoted),
+            "dedup",
+            started,
+        )
+        return trace, stats
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, launch: LaunchConfig, blocks: list[tuple[int, int]]
+    ) -> list[BlockTrace]:
+        """Simulate blocks, preserving order; parallel when configured."""
+        if not blocks:
+            return []
+        if self.workers <= 1 or len(blocks) == 1:
+            return [self.simulator.run_block(launch, b) for b in blocks]
+        import multiprocessing
+
+        # Prefer fork only on Linux: macOS has it available but forking
+        # after numpy/Accelerate initialisation can deadlock children.
+        method = (
+            "fork"
+            if sys.platform == "linux"
+            and "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        workers = min(self.workers, len(blocks))
+        chunksize = max(1, len(blocks) // (workers * 4))
+        with context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                self.kernel,
+                self.gmem,
+                self.spec,
+                self.max_warp_instructions,
+                launch,
+            ),
+        ) as pool:
+            return pool.map(_run_block_task, blocks, chunksize=chunksize)
+
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]] | None,
+        dedup: bool,
+    ) -> str:
+        h = hashlib.sha256()
+        h.update(f"engine-v{ENGINE_CACHE_VERSION};".encode())
+        h.update(kernel_fingerprint(self.kernel).encode())
+        h.update(repr(_launch_key(launch)).encode())
+        h.update(spec_fingerprint(self.spec).encode())
+        h.update(self.gmem.digest().encode())
+        h.update(repr(tuple(blocks) if blocks is not None else "full").encode())
+        h.update(f"dedup={dedup}".encode())
+        # The runaway-instruction guard must still fire on warm caches.
+        h.update(f"limit={self.simulator.max_warp_instructions}".encode())
+        # Pooled workers see pickled gmem copies, so cross-block write
+        # visibility depends on the pool width (blocks sharing a worker
+        # share its copy); never share entries across widths, and fold
+        # the serial cases (workers 0 and 1 run identically in-process).
+        h.update(f"workers={self.workers if self.workers > 1 else 0}".encode())
+        return h.hexdigest()

@@ -187,6 +187,82 @@ _CMP_FUNCS = {
 }
 
 
+class _BlockRun:
+    """All mutable state of one block's execution.
+
+    Bundling the register file, shared memory, stage accumulators and
+    launch context into one object makes :meth:`FunctionalSimulator
+    .run_block` reentrant: concurrent, nested or interleaved block runs
+    on the same simulator instance cannot corrupt each other, which the
+    deduplicating engine and its process pool rely on.
+    """
+
+    __slots__ = (
+        "R",
+        "P",
+        "smem",
+        "launch",
+        "block",
+        "specials",
+        "stages",
+        "stage",
+        "stage_warps",
+        "warps",
+    )
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        block: tuple[int, int],
+    ) -> None:
+        bx, by = block
+        gx, gy = launch.grid
+        threads = launch.block_threads
+        num_warps = launch.warps_per_block
+        padded = num_warps * WARP_SIZE
+
+        self.R = np.zeros((padded, max(kernel.num_registers, 1)), dtype=np.float64)
+        self.P = np.zeros((padded, max(kernel.num_predicates, 1)), dtype=bool)
+        for name in kernel.params:
+            if name not in launch.params:
+                raise LaunchError(f"missing launch parameter {name!r}")
+            self.R[:, kernel.param_regs[name]] = float(launch.params[name])
+        self.smem = SharedMemory(kernel.shared_memory_words)
+        self.launch = launch
+        self.block = (bx, by)
+        self.specials = {
+            "ntid": float(threads),
+            "ctaid_x": float(bx),
+            "ctaid_y": float(by),
+            "nctaid_x": float(gx),
+            "nctaid_y": float(gy),
+        }
+        lane_ids = np.arange(WARP_SIZE, dtype=np.int64)
+        self.warps = []
+        for w in range(num_warps):
+            alive = (w * WARP_SIZE + lane_ids) < threads
+            self.warps.append(
+                _WarpState(w, alive, kernel.num_registers, kernel.num_predicates)
+            )
+        self.stages = [StageStats()]
+        self.stage = self.stages[0]
+        self.stage_warps: set[int] = set()
+
+    def next_stage(self) -> None:
+        self.stage.active_warps = len(self.stage_warps)
+        self.stage_warps = set()
+        self.stage = StageStats()
+        self.stages.append(self.stage)
+
+    def finish(self) -> BlockTrace:
+        self.stage.active_warps = len(self.stage_warps)
+        streams = [warp.stream for warp in self.warps]
+        return BlockTrace(
+            block=self.block, stages=self.stages, warp_streams=streams
+        )
+
+
 class FunctionalSimulator:
     """Execute a kernel and collect dynamic statistics.
 
@@ -246,63 +322,36 @@ class FunctionalSimulator:
     def run_block(
         self, launch: LaunchConfig, block: tuple[int, int]
     ) -> BlockTrace:
-        """Execute a single block to completion."""
+        """Execute a single block to completion (reentrant)."""
+        trace, _ = self.run_block_state(launch, block)
+        return trace
+
+    def run_block_state(
+        self, launch: LaunchConfig, block: tuple[int, int]
+    ) -> tuple[BlockTrace, _BlockRun]:
+        """:meth:`run_block` plus the final per-run state (register and
+        predicate files), for oracles and differential tests.  Nothing
+        is retained on the simulator, so concurrent runs stay isolated.
+        """
         self._check_launch(launch)
         bx, by = block
         gx, gy = launch.grid
         if not (0 <= bx < gx and 0 <= by < gy):
             raise LaunchError(f"block {block} outside grid {launch.grid}")
 
-        threads = launch.block_threads
-        num_warps = launch.warps_per_block
-        padded = num_warps * WARP_SIZE
-        kernel = self.kernel
-
-        self._R = np.zeros((padded, max(kernel.num_registers, 1)), dtype=np.float64)
-        self._P = np.zeros((padded, max(kernel.num_predicates, 1)), dtype=bool)
-        for name in kernel.params:
-            if name not in launch.params:
-                raise LaunchError(f"missing launch parameter {name!r}")
-            self._R[:, kernel.param_regs[name]] = float(launch.params[name])
-        self._smem = SharedMemory(kernel.shared_memory_words)
-        self._launch = launch
-        self._block = (bx, by)
-        self._specials = {
-            "ntid": float(threads),
-            "ctaid_x": float(bx),
-            "ctaid_y": float(by),
-            "nctaid_x": float(gx),
-            "nctaid_y": float(gy),
-        }
-
-        warps = []
-        for w in range(num_warps):
-            alive = (w * WARP_SIZE + self._lane_ids) < threads
-            warps.append(
-                _WarpState(w, alive, kernel.num_registers, kernel.num_predicates)
-            )
-
-        stages = [StageStats()]
-        self._stage = stages[0]
-        self._stage_warps: set[int] = set()
-
+        run = _BlockRun(self.kernel, launch, (bx, by))
         while True:
-            for warp in warps:
+            for warp in run.warps:
                 if not warp.done and not warp.at_barrier:
-                    self._run_warp_until_barrier(warp)
-            waiting = [w for w in warps if w.at_barrier]
+                    self._run_warp_until_barrier(run, warp)
+            waiting = [w for w in run.warps if w.at_barrier]
             if not waiting:
                 break
             for warp in waiting:
                 warp.at_barrier = False
-            self._stage.active_warps = len(self._stage_warps)
-            self._stage_warps = set()
-            self._stage = StageStats()
-            stages.append(self._stage)
+            run.next_stage()
 
-        self._stage.active_warps = len(self._stage_warps)
-        streams = [warp.stream for warp in warps]
-        return BlockTrace(block=(bx, by), stages=stages, warp_streams=streams)
+        return run.finish(), run
 
     # ------------------------------------------------------------------
     # warp execution
@@ -314,7 +363,7 @@ class FunctionalSimulator:
                 f"{self.spec.sm.max_threads_per_block} limit"
             )
 
-    def _run_warp_until_barrier(self, warp: _WarpState) -> None:
+    def _run_warp_until_barrier(self, run: _BlockRun, warp: _WarpState) -> None:
         instructions = self._decoded
         num_instructions = len(instructions)
         while True:
@@ -335,6 +384,14 @@ class FunctionalSimulator:
 
             kind = decoded.kind
             if kind == OpKind.EXIT:
+                # exit occupies an issue slot like any other control
+                # instruction, so it belongs in the extracted mix AND
+                # the replayed warp stream (branch does the same) --
+                # both trace consumers must see the same issue count.
+                self._record_issue(run, decoded)
+                self._emit_event(
+                    warp, decoded, EV_ARITH, decoded.type_index, 0, None
+                )
                 warp.exited |= mask
                 continue
             if kind == OpKind.BARRIER:
@@ -343,7 +400,7 @@ class FunctionalSimulator:
                         "bar.sync reached by a divergent warp "
                         f"(warp {warp.index}, pc {cur})"
                     )
-                self._record_issue(decoded)
+                self._record_issue(run, decoded)
                 warp.stream.append((EV_BAR, 0, 0, 0, None))
                 warp.pc[alive] = cur + 1
                 warp.at_barrier = True
@@ -353,18 +410,18 @@ class FunctionalSimulator:
             if decoded.guard is not None:
                 pidx, want = decoded.guard
                 warp_slice = self._warp_slice(warp)
-                pred_vals = self._P[warp_slice, pidx]
+                pred_vals = run.P[warp_slice, pidx]
                 active = mask & (pred_vals == want)
 
             if kind == OpKind.BRANCH:
-                self._record_issue(decoded)
+                self._record_issue(run, decoded)
                 self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
                 warp.pc[mask] = cur + 1
                 if active.any():
                     warp.pc[active] = decoded.target
                 continue
 
-            self._execute(warp, decoded, mask, active)
+            self._execute(run, warp, decoded, mask, active)
             warp.pc[mask] = cur + 1
 
     def _warp_slice(self, warp: _WarpState) -> slice:
@@ -374,33 +431,33 @@ class FunctionalSimulator:
     # ------------------------------------------------------------------
     # instruction execution
     # ------------------------------------------------------------------
-    def _execute(self, warp, decoded, mask, active) -> None:
-        self._record_issue(decoded)
+    def _execute(self, run, warp, decoded, mask, active) -> None:
+        self._record_issue(run, decoded)
         kind = decoded.kind
         # A warp counts as *active* in a stage once it does real work;
         # warps that only evaluate a guard and branch around the body do
         # not raise the stage's warp-level parallelism (this is what
         # makes CR's late steps run at 1-warp shared bandwidth, Fig. 7a).
         if kind not in (OpKind.SETP, OpKind.NOP) and bool(active.any()):
-            self._stage_warps.add(warp.index)
+            run.stage_warps.add(warp.index)
         if kind == OpKind.ARITH or kind == OpKind.SELECT:
-            self._exec_arith(warp, decoded, active)
+            self._exec_arith(run, warp, decoded, active)
         elif kind == OpKind.SETP:
-            self._exec_setp(warp, decoded, active)
+            self._exec_setp(run, warp, decoded, active)
         elif kind == OpKind.LOAD_SHARED:
-            self._exec_shared(warp, decoded, active, is_load=True)
+            self._exec_shared(run, warp, decoded, active, is_load=True)
         elif kind == OpKind.STORE_SHARED:
-            self._exec_shared(warp, decoded, active, is_load=False)
+            self._exec_shared(run, warp, decoded, active, is_load=False)
         elif kind == OpKind.LOAD_GLOBAL:
-            self._exec_global(warp, decoded, active, is_load=True)
+            self._exec_global(run, warp, decoded, active, is_load=True)
         elif kind == OpKind.STORE_GLOBAL:
-            self._exec_global(warp, decoded, active, is_load=False)
+            self._exec_global(run, warp, decoded, active, is_load=False)
         elif kind == OpKind.NOP:
             self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
         else:  # pragma: no cover - all kinds handled above
             raise SimulationError(f"unhandled opcode kind {kind}")
 
-    def _fetch(self, warp, operand, active):
+    def _fetch(self, run, warp, operand, active):
         """Fetch one operand as a 32-lane float64 vector.
 
         Shared-memory operands also return the bank-transaction counts
@@ -408,7 +465,7 @@ class FunctionalSimulator:
         tag = operand[0]
         warp_slice = self._warp_slice(warp)
         if tag == "reg":
-            return self._R[warp_slice, operand[1]], None
+            return run.R[warp_slice, operand[1]], None
         if tag == "imm":
             return np.full(WARP_SIZE, operand[1]), None
         if tag == "special":
@@ -416,23 +473,23 @@ class FunctionalSimulator:
             if name == "tid":
                 base = warp.index * WARP_SIZE
                 return (base + self._lane_ids).astype(np.float64), None
-            return np.full(WARP_SIZE, self._specials[name]), None
+            return np.full(WARP_SIZE, run.specials[name]), None
         if tag == "mem":
             base_idx, offset = operand[1], operand[2]
             addresses = np.full(WARP_SIZE, float(offset))
             if base_idx >= 0:
-                addresses = addresses + self._R[warp_slice, base_idx]
+                addresses = addresses + run.R[warp_slice, base_idx]
             addresses = addresses.astype(np.int64)
             values = np.zeros(WARP_SIZE)
             if active.any():
                 if base_idx < 0:
                     # Broadcast of one static word: one transaction per
                     # half-warp, never a conflict.
-                    values[active] = self._smem.read(addresses[active])
+                    values[active] = run.smem.read(addresses[active])
                     halves = self._active_halfwarps(active)
                     txn = (values, halves, halves)
                 else:
-                    values[active] = self._smem.read(addresses[active])
+                    values[active] = run.smem.read(addresses[active])
                     actual, ideal = warp_transactions(
                         addresses, active, self._bank_config
                     )
@@ -440,9 +497,9 @@ class FunctionalSimulator:
             else:
                 txn = (values, 0, 0)
             useful = 4 * int(active.sum())
-            self._stage.shared_transactions += txn[1]
-            self._stage.shared_transactions_ideal += txn[2]
-            self._stage.shared_useful_bytes += useful
+            run.stage.shared_transactions += txn[1]
+            run.stage.shared_transactions_ideal += txn[2]
+            run.stage.shared_useful_bytes += useful
             return values, (txn[1], txn[2])
         raise SimulationError(f"cannot fetch operand {operand!r}")
 
@@ -452,25 +509,25 @@ class FunctionalSimulator:
         hi = bool(active[16:].any())
         return int(lo) + int(hi)
 
-    def _exec_arith(self, warp, decoded, active) -> None:
+    def _exec_arith(self, run, warp, decoded, active) -> None:
         warp_slice = self._warp_slice(warp)
         values = []
         shared_txn = None
         if decoded.kind == OpKind.SELECT:
             pidx = decoded.srcs[0][1]
-            pred_vals = self._P[warp_slice, pidx]
-            a, _ = self._fetch(warp, decoded.srcs[1], active)
-            b, _ = self._fetch(warp, decoded.srcs[2], active)
+            pred_vals = run.P[warp_slice, pidx]
+            a, _ = self._fetch(run, warp, decoded.srcs[1], active)
+            b, _ = self._fetch(run, warp, decoded.srcs[2], active)
             result = np.where(pred_vals, a, b)
         else:
             for operand in decoded.srcs:
-                value, txn = self._fetch(warp, operand, active)
+                value, txn = self._fetch(run, warp, operand, active)
                 values.append(value)
                 if txn is not None:
                     shared_txn = txn
             result = _evaluate(decoded.opcode, values)
         if decoded.dst_reg >= 0 and active.any():
-            self._R[warp_slice, decoded.dst_reg][active] = result[active]
+            run.R[warp_slice, decoded.dst_reg][active] = result[active]
         if shared_txn is None:
             self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
         else:
@@ -478,45 +535,45 @@ class FunctionalSimulator:
                 warp, decoded, EV_ARITH_SHARED, decoded.type_index, shared_txn[0], None
             )
 
-    def _exec_setp(self, warp, decoded, active) -> None:
+    def _exec_setp(self, run, warp, decoded, active) -> None:
         warp_slice = self._warp_slice(warp)
-        a, _ = self._fetch(warp, decoded.srcs[0], active)
-        b, _ = self._fetch(warp, decoded.srcs[1], active)
+        a, _ = self._fetch(run, warp, decoded.srcs[0], active)
+        b, _ = self._fetch(run, warp, decoded.srcs[1], active)
         result = _CMP_FUNCS[decoded.cmp](a, b)
         if active.any():
-            self._P[warp_slice, decoded.dst_pred][active] = result[active]
+            run.P[warp_slice, decoded.dst_pred][active] = result[active]
         self._emit_event(warp, decoded, EV_ARITH, decoded.type_index, 0, None)
 
-    def _shared_addresses(self, warp, base_idx, offset):
+    def _shared_addresses(self, run, warp, base_idx, offset):
         warp_slice = self._warp_slice(warp)
         addresses = np.full(WARP_SIZE, float(offset))
         if base_idx >= 0:
-            addresses = addresses + self._R[warp_slice, base_idx]
+            addresses = addresses + run.R[warp_slice, base_idx]
         return addresses.astype(np.int64)
 
-    def _exec_shared(self, warp, decoded, active, is_load: bool) -> None:
+    def _exec_shared(self, run, warp, decoded, active, is_load: bool) -> None:
         if is_load:
             base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
         else:
             _, base_idx, offset = decoded.dst_mem[0], decoded.dst_mem[1], decoded.dst_mem[2]
-        addresses = self._shared_addresses(warp, base_idx, offset)
+        addresses = self._shared_addresses(run, warp, base_idx, offset)
         warp_slice = self._warp_slice(warp)
         actual = ideal = 0
         if active.any():
             if is_load:
                 values = np.zeros(WARP_SIZE)
-                values[active] = self._smem.read(addresses[active])
-                self._R[warp_slice, decoded.dst_reg][active] = values[active]
+                values[active] = run.smem.read(addresses[active])
+                run.R[warp_slice, decoded.dst_reg][active] = values[active]
             else:
-                store_vals, _ = self._fetch(warp, decoded.srcs[0], active)
-                self._smem.write(addresses[active], store_vals[active])
+                store_vals, _ = self._fetch(run, warp, decoded.srcs[0], active)
+                run.smem.write(addresses[active], store_vals[active])
             actual, ideal = warp_transactions(addresses, active, self._bank_config)
-        self._stage.shared_transactions += actual
-        self._stage.shared_transactions_ideal += ideal
-        self._stage.shared_useful_bytes += 4 * int(active.sum())
+        run.stage.shared_transactions += actual
+        run.stage.shared_transactions_ideal += ideal
+        run.stage.shared_useful_bytes += 4 * int(active.sum())
         self._emit_event(warp, decoded, EV_SHARED, actual, 0, None)
 
-    def _exec_global(self, warp, decoded, active, is_load: bool) -> None:
+    def _exec_global(self, run, warp, decoded, active, is_load: bool) -> None:
         if is_load:
             base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
         else:
@@ -524,11 +581,11 @@ class FunctionalSimulator:
         warp_slice = self._warp_slice(warp)
         addresses = np.full(WARP_SIZE, float(offset))
         if base_idx >= 0:
-            addresses = addresses + self._R[warp_slice, base_idx]
+            addresses = addresses + run.R[warp_slice, base_idx]
         addresses = addresses.astype(np.int64)
 
         n_active = int(active.sum())
-        stage = self._stage
+        stage = run.stage
         stage.global_requests += 1
         stage.global_useful_bytes += 4 * n_active
 
@@ -540,16 +597,16 @@ class FunctionalSimulator:
             if is_load:
                 values = np.zeros(WARP_SIZE)
                 values[active] = self.gmem.read(addresses[active])
-                self._R[warp_slice, decoded.dst_reg][active] = values[active]
+                run.R[warp_slice, decoded.dst_reg][active] = values[active]
             else:
-                store_vals, _ = self._fetch(warp, decoded.srcs[0], active)
+                store_vals, _ = self._fetch(run, warp, decoded.srcs[0], active)
                 self.gmem.write(addresses[active], store_vals[active])
 
             first_address = int(addresses[active][0])
             allocation = self.gmem.allocation_at(first_address)
             array_name = allocation.name if allocation else "?"
             cacheable = self.gmem.is_cacheable(first_address)
-            for position, granularity in enumerate(self._launch.granularities):
+            for position, granularity in enumerate(run.launch.granularities):
                 # Granularity 4 is the paper's "ideal" case: each
                 # distinct word is its own transaction (Fig. 11a).
                 config = TransactionConfig(
@@ -571,7 +628,7 @@ class FunctionalSimulator:
                 if position == 0:
                     primary_txns = count
                     primary_bytes = nbytes
-                    if self._launch.record_segments:
+                    if run.launch.record_segments:
                         segments = tuple((t.address, t.size) for t in transactions)
 
         payload = (cacheable, segments) if segments is not None else None
@@ -583,8 +640,8 @@ class FunctionalSimulator:
     # ------------------------------------------------------------------
     # statistics plumbing
     # ------------------------------------------------------------------
-    def _record_issue(self, decoded) -> None:
-        stage = self._stage
+    def _record_issue(self, run, decoded) -> None:
+        stage = run.stage
         stage.instructions[decoded.mnemonic] += 1
         stage.instr_by_type[decoded.type_name] += 1
         if decoded.is_mad:

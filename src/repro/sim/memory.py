@@ -8,6 +8,7 @@ one representation without precision loss in the ranges we use.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -89,6 +90,23 @@ class GlobalMemory:
     def is_cacheable(self, address: int) -> bool:
         allocation = self.allocation_at(address)
         return allocation is not None and allocation.name in self._cacheable
+
+    def digest(self) -> str:
+        """Content fingerprint of the arena (layout, flags and data).
+
+        Used as part of on-disk trace-cache keys: data-dependent kernels
+        (e.g. SpMV's index-driven gathers) produce different traces for
+        different memory contents, so cached traces must be keyed by
+        what the kernel could have read.
+        """
+        h = hashlib.sha256()
+        for allocation in self._allocations:
+            h.update(
+                f"{allocation.name}:{allocation.base}:{allocation.size};".encode()
+            )
+        h.update(",".join(sorted(self._cacheable)).encode())
+        h.update(self._data[: self._top // 4].tobytes())
+        return h.hexdigest()
 
     def allocation_at(self, address: int) -> Allocation | None:
         """The allocation containing a byte address, if any."""

@@ -104,6 +104,28 @@ class StageStats:
                 mine[gran] = (old_txn + txn, old_bytes + nbytes)
         self.active_warps = max(self.active_warps, other.active_warps)
 
+    def canonical(self) -> tuple:
+        """Order-independent tuple form (fingerprinting, equality)."""
+        return (
+            tuple(sorted(self.instructions.items())),
+            tuple(sorted(self.instr_by_type.items())),
+            self.mad_instructions,
+            self.shared_transactions,
+            self.shared_transactions_ideal,
+            self.shared_useful_bytes,
+            self.global_requests,
+            tuple(sorted(self.global_transactions.items())),
+            tuple(sorted(self.global_bytes.items())),
+            self.global_useful_bytes,
+            tuple(
+                sorted(
+                    (array, tuple(sorted(per_gran.items())))
+                    for array, per_gran in self.global_by_array.items()
+                )
+            ),
+            self.active_warps,
+        )
+
     def scaled(self, factor: float) -> "StageStats":
         """A copy with all extensive quantities multiplied by ``factor``."""
         out = StageStats()
@@ -157,14 +179,36 @@ class BlockTrace:
             total.merge(stage)
         return total
 
+    def stats_key(self) -> tuple:
+        """Behavioural fingerprint of this block's execution.
+
+        Block coordinates are deliberately excluded: two blocks with
+        equal keys produced indistinguishable statistics and warp
+        streams, so either can stand in for the other (the engine's
+        deduplication test).
+        """
+        return (
+            tuple(stage.canonical() for stage in self.stages),
+            tuple(tuple(stream) for stream in self.warp_streams),
+        )
+
 
 @dataclass
 class KernelTrace:
-    """Aggregated dynamic statistics for a whole launch."""
+    """Aggregated dynamic statistics for a whole launch.
+
+    ``exact`` records whether the stage statistics are a true sum over
+    all ``num_blocks`` blocks (full grid, or engine replication with
+    exact multiplicities) or a scaled-up representative sample.
+    ``engine_stats`` is attached by the simulation engine when the trace
+    was produced through it (see :mod:`repro.sim.engine`).
+    """
 
     stages: list[StageStats]
     num_blocks: int
     block_traces: list[BlockTrace] = field(default_factory=list)
+    exact: bool = True
+    engine_stats: object | None = None
 
     @property
     def totals(self) -> StageStats:
@@ -186,18 +230,60 @@ def aggregate_blocks(
     Stage ``i`` of every block contributes to stage ``i`` of the result
     (stages are synchronization intervals, which line up across blocks
     for the homogeneous kernels studied here).
+
+    When scaling a sample, each stage is scaled by the number of sampled
+    blocks that actually reached it: a stage only some sampled blocks
+    executed is extrapolated from those contributors alone, instead of
+    being diluted by a uniform ``total / simulated`` factor that treats
+    blocks which never reached the stage as zero-cost contributors.
+    This deliberately assumes stage raggedness comes from a *fixed* set
+    of outliers (e.g. one partial tail block deliberately included in
+    the sample), not from a grid-proportional population -- the regime
+    of every kernel studied here.  For proportionally ragged grids,
+    simulate the full grid through the engine instead of sampling.
     """
     num_stages = max((len(t.stages) for t in block_traces), default=0)
     stages = [StageStats() for _ in range(num_stages)]
+    contributors = [0] * num_stages
     for trace in block_traces:
         for i, stage in enumerate(trace.stages):
             stages[i].merge(stage)
+            contributors[i] += 1
     simulated = len(block_traces)
     total = scale_to_blocks if scale_to_blocks is not None else simulated
-    if total != simulated and simulated > 0:
-        factor = total / simulated
-        scaled = [s.scaled(factor) for s in stages]
-        for fresh, original in zip(scaled, stages):
-            fresh.active_warps = original.active_warps
-        stages = scaled
-    return KernelTrace(stages=stages, num_blocks=total, block_traces=block_traces)
+    exact = total == simulated
+    if not exact and simulated > 0:
+        stages = [
+            stage.scaled(total / count)
+            for stage, count in zip(stages, contributors)
+        ]
+    return KernelTrace(
+        stages=stages, num_blocks=total, block_traces=block_traces, exact=exact
+    )
+
+
+def aggregate_weighted(
+    block_traces: list[BlockTrace], multiplicities: list[int]
+) -> KernelTrace:
+    """Exactly aggregate representatives with integer multiplicities.
+
+    Each trace stands for ``multiplicity`` behaviourally identical
+    blocks; stage statistics are multiplied by the exact integer count,
+    so the result is bit-identical to merging every replica -- no
+    representative-sample extrapolation involved.
+    """
+    if len(block_traces) != len(multiplicities):
+        raise ValueError("one multiplicity per block trace is required")
+    if any(m < 1 for m in multiplicities):
+        raise ValueError("multiplicities must be positive")
+    num_stages = max((len(t.stages) for t in block_traces), default=0)
+    stages = [StageStats() for _ in range(num_stages)]
+    for trace, mult in zip(block_traces, multiplicities):
+        for i, stage in enumerate(trace.stages):
+            stages[i].merge(stage if mult == 1 else stage.scaled(mult))
+    return KernelTrace(
+        stages=stages,
+        num_blocks=sum(multiplicities),
+        block_traces=list(block_traces),
+        exact=True,
+    )

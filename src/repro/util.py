@@ -1,0 +1,47 @@
+"""Small shared helpers with no intra-package dependencies."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+
+def spec_fingerprint(spec) -> str:
+    """Content hash of an architecture spec (cache invalidation key).
+
+    Hashes a canonical form (sorted dict keys) so equal specs built
+    with different ``functional_units`` insertion orders fingerprint
+    identically.  Lives here, dependency-free, because both the
+    calibration cache (micro) and the trace cache (sim) key on it.
+    """
+    canonical = json.dumps(
+        dataclasses.asdict(spec), sort_keys=True, default=repr
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> bool:
+    """Atomically write ``data`` to ``path`` via a same-directory temp
+    file and :func:`os.replace`, failing open on filesystem errors.
+
+    Used by the on-disk caches (calibration tables, trace memos): an
+    unwritable cache root must never discard freshly computed results,
+    so errors clean up best-effort and report ``False`` instead of
+    raising.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+        return True
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False

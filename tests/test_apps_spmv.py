@@ -49,6 +49,7 @@ class TestNumerics:
                 problem.gmem,
                 problem.launch(record_segments=False),
                 measure=False,
+                engine=False,  # results must land in gmem
             )
             outs[fmt] = problem.result()
         assert np.allclose(outs["ell"], outs["bell_im"], atol=1e-5)

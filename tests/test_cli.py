@@ -27,6 +27,46 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["matmul", "--workers", "4", "--full", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.full
+        assert args.no_cache
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["spmv"])
+        assert args.workers == 0
+        assert not args.full
+        assert not args.no_cache
+
+
+class TestCalibrationCaching:
+    def test_default_path_calibration_is_cached(self, tmp_path, monkeypatch):
+        # Regression: without --calibration the CLI used to recalibrate
+        # on every case-study invocation; now tables are cached at the
+        # default spec-keyed path.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.__main__ import _make_model
+        from repro.micro import cache as micro_cache
+
+        calls = []
+        real = micro_cache.calibrate
+
+        def counting(gpu=None, **_kwargs):
+            calls.append(1)
+            # Shrink the sweep: the test exercises caching, not curves.
+            return real(gpu, warp_counts=(1, 4, 32), iterations=10)
+
+        monkeypatch.setattr(micro_cache, "calibrate", counting)
+
+        args = build_parser().parse_args(["matmul"])
+        _make_model(args)
+        assert (tmp_path / "calibration.json").exists()
+        _make_model(args)
+        assert len(calls) == 1
+
 
 class TestCommands:
     def test_info_prints_paper_numbers(self, capsys):

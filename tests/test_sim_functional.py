@@ -376,6 +376,139 @@ class TestStatistics:
         assert sampled.num_blocks == 10
 
 
+class TestReentrancy:
+    """run_block keeps all per-run state in a _BlockRun: interleaved or
+    nested runs on one simulator instance must not corrupt each other."""
+
+    def _counting_kernel(self, iterations=5):
+        b = KernelBuilder("count", params=("out",))
+        v = b.reg()
+        scratch = b.reg()
+        addr = b.reg()
+        b.imad(addr, b.tid, Imm(4), b.param("out"))
+        b.mov(v, Imm(0))
+        with b.counted_loop(iterations):
+            b.iadd(v, v, Imm(1))
+            b.ldg(scratch, addr)  # touch global memory mid-run
+            b.fadd(scratch, scratch, v)
+        b.stg(addr, v)
+        b.exit()
+        return b.build()
+
+    def test_nested_run_block_does_not_corrupt_outer_run(self):
+        # A GlobalMemory whose first read re-enters the simulator: the
+        # nested block run must leave the outer run's registers, shared
+        # memory and stage accumulators untouched.
+        class ReentrantMemory(GlobalMemory):
+            def __init__(self):
+                super().__init__()
+                self.hook = None
+                self.fired = False
+
+            def read(self, addresses):
+                if self.hook is not None and not self.fired:
+                    self.fired = True
+                    self.hook()
+                return super().read(addresses)
+
+        gmem = ReentrantMemory()
+        out = gmem.alloc(32, "out")
+        kernel = self._counting_kernel()
+        sim = FunctionalSimulator(kernel, gmem=gmem)
+        launch = LaunchConfig(grid=(2, 1), block_threads=32, params={"out": out})
+
+        baseline = sim.run_block(launch, (0, 0))
+        gmem.fired = False
+        gmem.hook = lambda: sim.run_block(launch, (1, 0))
+        nested = sim.run_block(launch, (0, 0))
+        assert nested.stats_key() == baseline.stats_key()
+
+    def test_threaded_run_block_interleaving(self):
+        import sys
+        import threading
+
+        gmem = GlobalMemory()
+        out = gmem.alloc(32, "out")
+        kernel = self._counting_kernel()
+        sim = FunctionalSimulator(kernel, gmem=gmem)
+        launch = LaunchConfig(grid=(4, 1), block_threads=32, params={"out": out})
+        expected = sim.run_block(launch, (0, 0)).stats_key()
+
+        results = {}
+        errors = []
+
+        def worker(block):
+            try:
+                traces = [
+                    sim.run_block(launch, block).stats_key() for _ in range(20)
+                ]
+                results[block] = traces
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force frequent interleaving
+        try:
+            threads = [
+                threading.Thread(target=worker, args=((x, 0),))
+                for x in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert not errors
+        for traces in results.values():
+            assert all(key == expected for key in traces)
+
+
+class TestExitAccounting:
+    def test_exit_counts_in_instruction_mix(self):
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1))
+
+        trace, _ = run_simple(build, threads=64)
+        # One exit issue per warp, recorded as a type II instruction.
+        assert trace.totals.instructions["exit"] == 2
+        assert (
+            trace.totals.total_instructions
+            == trace.totals.instructions["mov"] + 2
+        )
+
+    def test_divergent_early_exit_counts_each_issue(self):
+        def build(b):
+            p = b.pred()
+            b.isetp(p, "lt", b.tid, Imm(5))
+            skip = b.fresh_label("SKIP")
+            b.bra(skip, guard=(p, False))
+            b.exit()  # lanes 0-4 leave early
+            b.label(skip)
+            v = b.reg()
+            b.mov(v, Imm(1))
+
+        trace, _ = run_simple(build)
+        # Lanes 0-4 exit early, the rest exit at the end: two issues.
+        assert trace.totals.instructions["exit"] == 2
+
+    def test_exit_appears_in_warp_stream(self):
+        # The mix and the replayed warp stream must agree on the issue
+        # count, or the model and the timing simulator charge different
+        # totals per warp.
+        def build(b):
+            v = b.reg()
+            b.mov(v, Imm(1))
+
+        trace, _ = run_simple(build, threads=64)
+        block = trace.block_traces[0]
+        per_warp = trace.totals.total_instructions // block.num_warps
+        for stream in block.warp_streams:
+            assert len(stream) == per_warp  # mov + exit
+
+
 class TestLaunchErrors:
     def test_missing_parameter(self):
         b = KernelBuilder("k", params=("x",))

@@ -2,7 +2,14 @@
 
 from collections import Counter
 
-from repro.sim import BlockTrace, StageStats, aggregate_blocks
+import pytest
+
+from repro.sim import (
+    BlockTrace,
+    StageStats,
+    aggregate_blocks,
+    aggregate_weighted,
+)
 
 
 def stage_with(instr=0, mad=0, shared=0, ideal=0, gbytes=0, useful=0, warps=1):
@@ -92,3 +99,70 @@ class TestAggregation:
         t1 = self._block([stage_with(instr=4, mad=2), stage_with(instr=6, mad=6)])
         trace = aggregate_blocks([t1])
         assert trace.totals.mad_instructions == 8
+
+    def test_partial_stages_scale_by_their_contributors(self):
+        # Regression: stage 1 is reached by only one of two sampled
+        # blocks; it must be extrapolated from that contributor alone
+        # (factor 10/1), not by the uniform 10/2 sample factor.
+        t1 = self._block([stage_with(instr=4)])
+        t2 = self._block([stage_with(instr=4), stage_with(instr=6)], (1, 0))
+        trace = aggregate_blocks([t1, t2], scale_to_blocks=10)
+        assert trace.stages[0].total_instructions == 40  # 8 * 10/2
+        assert trace.stages[1].total_instructions == 60  # 6 * 10/1
+        assert not trace.exact
+
+    def test_unscaled_aggregation_is_exact(self):
+        t1 = self._block([stage_with(instr=4)])
+        assert aggregate_blocks([t1]).exact
+        assert aggregate_blocks([t1], scale_to_blocks=1).exact
+        assert not aggregate_blocks([t1], scale_to_blocks=3).exact
+
+
+class TestWeightedAggregation:
+    def _block(self, stages, block=(0, 0)):
+        return BlockTrace(block=block, stages=stages, warp_streams=[[]])
+
+    def test_multiplicities_match_explicit_replication(self):
+        rep = self._block([stage_with(instr=4, mad=2, shared=6, ideal=3)])
+        other = self._block([stage_with(instr=10, mad=5)], (1, 0))
+        weighted = aggregate_weighted([rep, other], [7, 1])
+        replicated = aggregate_blocks([rep] * 7 + [other])
+        assert (
+            [s.canonical() for s in weighted.stages]
+            == [s.canonical() for s in replicated.stages]
+        )
+        assert weighted.num_blocks == 8
+        assert weighted.exact
+
+    def test_weighted_preserves_active_warps(self):
+        rep = self._block([stage_with(instr=4, warps=3)])
+        trace = aggregate_weighted([rep], [100])
+        assert trace.stages[0].active_warps == 3
+
+    def test_validation(self):
+        rep = self._block([stage_with(instr=4)])
+        with pytest.raises(ValueError):
+            aggregate_weighted([rep], [])
+        with pytest.raises(ValueError):
+            aggregate_weighted([rep], [0])
+
+
+class TestCanonicalKeys:
+    def test_canonical_ignores_dict_ordering(self):
+        a = stage_with(instr=4, gbytes=128, useful=64)
+        b = stage_with(instr=4, gbytes=128, useful=64)
+        a.global_bytes = {32: 128, 16: 256}
+        b.global_bytes = {16: 256, 32: 128}
+        assert a.canonical() == b.canonical()
+
+    def test_stats_key_excludes_block_coords(self):
+        stages = [stage_with(instr=4)]
+        t1 = BlockTrace(block=(0, 0), stages=stages, warp_streams=[[(0, 0, 1, 0, None)]])
+        t2 = BlockTrace(block=(5, 3), stages=stages, warp_streams=[[(0, 0, 1, 0, None)]])
+        assert t1.stats_key() == t2.stats_key()
+
+    def test_stats_key_sees_stream_differences(self):
+        stages = [stage_with(instr=4)]
+        t1 = BlockTrace(block=(0, 0), stages=stages, warp_streams=[[(0, 0, 1, 0, None)]])
+        t2 = BlockTrace(block=(0, 0), stages=stages, warp_streams=[[(0, 0, 2, 0, None)]])
+        assert t1.stats_key() != t2.stats_key()
