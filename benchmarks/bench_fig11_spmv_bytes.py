@@ -21,10 +21,13 @@ def qcd():
 
 
 @pytest.fixture(scope="module")
-def runs(model, gpu, qcd, trace_cache):
+def runs(model, gpu, qcd, trace_cache, spmv_sample_blocks, engine_workers):
+    # Exact full-grid traces by default (dedup + the pool made them
+    # cheap); pass --sample for the legacy 12-block representative mode.
     return {
         fmt: run_spmv(
-            qcd, fmt, model=model, gpu=gpu, sample_blocks=12,
+            qcd, fmt, model=model, gpu=gpu,
+            sample_blocks=spmv_sample_blocks, workers=engine_workers,
             trace_cache=trace_cache,
         )
         for fmt in FORMATS

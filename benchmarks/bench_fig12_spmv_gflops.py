@@ -23,12 +23,15 @@ def qcd():
 
 
 @pytest.fixture(scope="module")
-def runs(gpu, qcd, trace_cache):
+def runs(gpu, qcd, trace_cache, spmv_sample_blocks, engine_workers):
+    # Exact full-grid traces by default; --sample restores the legacy
+    # 12-block representative mode.
     out = {}
     for fmt in FORMATS:
         for cache in (False, True):
             out[(fmt, cache)] = run_spmv(
-                qcd, fmt, gpu=gpu, use_cache=cache, sample_blocks=12,
+                qcd, fmt, gpu=gpu, use_cache=cache,
+                sample_blocks=spmv_sample_blocks, workers=engine_workers,
                 trace_cache=trace_cache,
             )
     return out

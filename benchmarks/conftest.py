@@ -11,6 +11,7 @@ Calibration is expensive (~40 s), so it is performed once and cached to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -27,6 +28,20 @@ BENCH_WARP_COUNTS = (
 )
 
 
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--sample",
+            action="store_true",
+            default=False,
+            help="use the pre-engine 12-block representative sampling for "
+            "the SpMV figures instead of exact full-grid traces",
+        )
+    except ValueError:
+        # Already registered (conftest loaded twice via different paths).
+        pass
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -34,8 +49,30 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
-def gpu() -> HardwareGpu:
-    return HardwareGpu()
+def engine_workers() -> int:
+    """Pool width shared by the engine and the timing simulator."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="session")
+def spmv_sample_blocks(request) -> int | None:
+    """SpMV trace mode: exact full grids by default, 12-block
+    representative sampling with ``--sample`` (the pre-engine default,
+    kept as an opt-in for quick comparisons)."""
+    try:
+        sampled = request.config.getoption("--sample")
+    except ValueError:
+        sampled = False
+    return 12 if sampled else None
+
+
+@pytest.fixture(scope="session")
+def gpu(results_dir, engine_workers) -> HardwareGpu:
+    # Measured-run memoization sits next to the session trace cache, so
+    # re-running a figure replays its timing measurements instantly.
+    return HardwareGpu(
+        workers=engine_workers, cache_dir=str(results_dir / "measured")
+    )
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,13 @@ deduplicating engine, then checks three things:
 3. the engine's absolute wall-clock has not regressed more than 2x
    against the recorded baseline in ``engine_smoke_baseline.json``.
 
+A second gate covers the *timing* layer: a Fig. 4-scale heterogeneous
+grid (1021 tail-guarded blocks, three block classes) is measured through
+the naive per-cluster replay, the signature-deduplicating serial path,
+and the parallel path.  All three must agree bit-identically on cycles,
+and dedup + pool must be at least ``TIMING_MIN_SPEEDUP``x faster than
+the naive replay.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_smoke.py --check
@@ -19,11 +26,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 from repro.apps.matmul import build_matmul_kernel, prepare_problem
+from repro.hw import HardwareGpu
+from repro.isa import Imm, KernelBuilder
+from repro.sim import GlobalMemory, LaunchConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.functional import FunctionalSimulator
 
@@ -37,6 +48,16 @@ MIN_SPEEDUP = 5.0
 
 #: Wall-clock regression gate vs the recorded baseline.
 MAX_REGRESSION = 2.0
+
+#: Timing-layer grid: Fig. 4 scale (1024-block ballpark), sized so the
+#: first and last blocks land in one cluster and the other nine clusters
+#: share a single queue signature (strong dedup even on one core).
+TIMING_BLOCKS = 1021
+TIMING_THREADS = 64
+TIMING_INNER = 48
+
+#: Acceptance floor for dedup+pool vs naive per-cluster timing replay.
+TIMING_MIN_SPEEDUP = 4.0
 
 
 def run_once() -> dict:
@@ -69,6 +90,79 @@ def run_once() -> dict:
     }
 
 
+def build_timing_workload():
+    """A Fig. 4-scale heterogeneous grid: tail-guarded streaming kernel."""
+    n = TIMING_BLOCKS * TIMING_THREADS - 37  # last block partially active
+    gmem = GlobalMemory()
+    buf = gmem.alloc(n + TIMING_THREADS, "buf")
+    b = KernelBuilder("smoke_stream", params=("buf", "n"))
+    gid = b.reg()
+    b.imad(gid, b.ctaid_x, b.ntid, b.tid)
+    guard = b.pred()
+    b.isetp(guard, "lt", gid, b.param("n"))
+    with b.if_then(guard):
+        addr = b.reg()
+        b.imad(addr, gid, Imm(4), b.param("buf"))
+        acc = b.reg()
+        b.mov(acc, Imm(0.0))
+        v = b.reg()
+        with b.counted_loop(TIMING_INNER):
+            b.ldg(v, addr)
+            b.fmad(acc, v, v, acc)
+            b.fmad(acc, v, acc, acc)
+        b.stg(addr, acc)
+    b.exit()
+    launch = LaunchConfig(
+        grid=(TIMING_BLOCKS, 1),
+        block_threads=TIMING_THREADS,
+        params={"buf": buf, "n": n},
+    )
+    return b.build(), gmem, launch
+
+
+def run_timing() -> dict:
+    """Time the heterogeneous grid through naive / dedup / parallel."""
+    kernel, gmem, launch = build_timing_workload()
+    trace = SimulationEngine(kernel, gmem=gmem).run(launch)
+    table = trace.block_traces
+    resident = 8
+
+    naive_start = time.perf_counter()
+    naive = HardwareGpu().measure(
+        table,
+        launch.num_blocks,
+        resident,
+        wave_extrapolation=False,
+        dedup=False,
+    )
+    naive_seconds = time.perf_counter() - naive_start
+
+    serial = HardwareGpu().measure(table, launch.num_blocks, resident)
+
+    fast_gpu = HardwareGpu(workers=min(4, os.cpu_count() or 1))
+    fast_start = time.perf_counter()
+    fast = fast_gpu.measure(table, launch.num_blocks, resident)
+    fast_seconds = time.perf_counter() - fast_start
+
+    # The nine interior clusters share exactly equal queues here, so the
+    # deduplicated paths must match the naive replay bit for bit (and
+    # the parallel path must match serial dedup on every field).
+    identical = (
+        fast == serial
+        and fast.cycles == naive.cycles
+        and fast.cluster_cycles == naive.cluster_cycles
+    )
+    return {
+        "blocks": launch.num_blocks,
+        "naive_seconds": naive_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": naive_seconds / fast_seconds,
+        "identical": identical,
+        "cluster_sims": fast.cluster_sims,
+        "signature_hits": fast.signature_hits,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=True)
@@ -91,6 +185,24 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if result["speedup"] < MIN_SPEEDUP:
         print(f"FAIL: speedup {result['speedup']:.1f}x < {MIN_SPEEDUP}x")
+        return 1
+
+    timing = run_timing()
+    print(
+        f"timing {timing['blocks']} heterogeneous blocks: "
+        f"naive {timing['naive_seconds']:.2f} s, "
+        f"dedup+pool {timing['fast_seconds']:.2f} s "
+        f"({timing['speedup']:.1f}x, {timing['cluster_sims']} cluster sims, "
+        f"{timing['signature_hits']} signature hits)"
+    )
+    if not timing["identical"]:
+        print("FAIL: dedup/parallel timing cycles differ from naive replay")
+        return 1
+    if timing["speedup"] < TIMING_MIN_SPEEDUP:
+        print(
+            f"FAIL: timing speedup {timing['speedup']:.1f}x "
+            f"< {TIMING_MIN_SPEEDUP}x"
+        )
         return 1
 
     if args.update:

@@ -61,10 +61,22 @@ def _cmd_calibrate(args) -> int:
 def _make_model(args):
     from repro.hw import HardwareGpu
     from repro.micro import CalibrationTables, calibrate
-    from repro.micro.cache import default_calibration_path, load_or_calibrate
+    from repro.micro.cache import (
+        default_calibration_path,
+        default_measure_cache_dir,
+        load_or_calibrate,
+    )
     from repro.model import PerformanceModel
 
-    gpu = HardwareGpu()
+    # --workers governs both layers: the functional-simulation engine
+    # and the timing simulator's cluster fan-out.  --no-cache likewise
+    # disables the measured-run memo cache next to the trace cache.
+    measure_cache = None
+    if not getattr(args, "no_cache", False):
+        measure_cache = str(default_measure_cache_dir())
+    gpu = HardwareGpu(
+        workers=getattr(args, "workers", 0), cache_dir=measure_cache
+    )
     if args.calibration:
         tables = CalibrationTables.load(args.calibration, gpu=gpu)
     elif getattr(args, "no_cache", False):
@@ -178,13 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         case.add_argument(
             "--no-cache",
             action="store_true",
-            help="skip the default calibration/trace caches (~/.cache/repro)",
+            help="skip the default calibration/trace/measured-run caches "
+            "(~/.cache/repro)",
         )
         case.add_argument(
             "--workers",
             type=int,
             default=0,
-            help="process-pool width for the simulation engine (0 = in-process)",
+            help="process-pool width for the simulation engine and the "
+            "timing simulator (0 = in-process)",
         )
         case.add_argument(
             "--full",

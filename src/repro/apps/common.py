@@ -107,7 +107,9 @@ def execute(
 
     measured = None
     if measure:
-        gpu = gpu or HardwareGpu(spec=spec)
+        # The default timing simulator shares the engine's pool width;
+        # callers wanting the measured-run cache pass their own gpu.
+        gpu = gpu or HardwareGpu(spec=spec, workers=workers)
         measured = gpu.measure(
             trace.block_traces if len(trace.block_traces) > 1
             else trace.block_traces[0],

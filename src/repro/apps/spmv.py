@@ -254,7 +254,9 @@ def run_spmv(
     statistics "enable us to handle data-dependent applications").
     SpMV traces are data-dependent, so the engine cannot deduplicate
     blocks -- ``workers`` fans the full grid out across processes and
-    ``trace_cache`` memoizes repeat launches instead.
+    ``trace_cache`` memoizes repeat launches instead.  The paper-figure
+    benchmarks default to exact grids (``sample_blocks=None``) now that
+    parallel full grids are cheap, keeping ``--sample`` as an opt-in.
     """
     problem = prepare_problem(matrix, fmt, seed)
     kernel = build_kernel_for(problem)

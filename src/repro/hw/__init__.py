@@ -1,12 +1,19 @@
 """Cycle-approximate hardware timing simulator (the silicon stand-in)."""
 
-from repro.hw.cluster import ClusterResult, ClusterSimulator
+from repro.hw.cluster import ClusterResult, ClusterSimulator, simulate_cluster
 from repro.hw.config import (
     DEFAULT_HW,
     HwConfig,
     cluster_bytes_per_cycle,
+    config_fingerprint,
     deterministic_jitter,
     issue_intervals,
+)
+from repro.hw.engine import (
+    HW_CACHE_VERSION,
+    MeasuredRunCache,
+    simulate_clusters,
+    stream_digest,
 )
 from repro.hw.gpu import HardwareGpu, MeasuredRun
 from repro.hw.texcache import TextureCache
@@ -15,11 +22,17 @@ __all__ = [
     "ClusterResult",
     "ClusterSimulator",
     "DEFAULT_HW",
+    "HW_CACHE_VERSION",
     "HardwareGpu",
     "HwConfig",
     "MeasuredRun",
+    "MeasuredRunCache",
     "TextureCache",
     "cluster_bytes_per_cycle",
+    "config_fingerprint",
     "deterministic_jitter",
     "issue_intervals",
+    "simulate_cluster",
+    "simulate_clusters",
+    "stream_digest",
 ]

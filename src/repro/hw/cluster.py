@@ -41,6 +41,27 @@ from repro.sim.trace import (
 BlockWork = list  # list[list[Event]]
 
 
+def simulate_cluster(
+    spec: GpuSpec,
+    config: HwConfig | None,
+    use_cache: bool,
+    sm_queues: list[list[BlockWork]],
+    resident_per_sm: int,
+) -> "ClusterResult":
+    """One-shot cluster simulation: a pure, picklable entry point.
+
+    The timing layer's process-pool workers (:mod:`repro.hw.engine`)
+    need a module-level function; keeping it here, next to
+    :class:`ClusterSimulator`, pins the invariant that a cluster's
+    result is a deterministic function of exactly these arguments --
+    which is what makes signature memoization and the parallel fan-out
+    bit-identical to serial replay.
+    """
+    return ClusterSimulator(spec, config, use_cache).run(
+        sm_queues, resident_per_sm
+    )
+
+
 class _Warp:
     __slots__ = (
         "stream",

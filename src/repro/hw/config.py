@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.specs import WARP_SIZE, GpuSpec, GTX285
 from repro.errors import HardwareModelError
+from repro.util import spec_fingerprint
 
 #: Pipeline latency in cycles by instruction type index (I, II, III, IV).
 #: A type II latency of 20 with a 4-cycle issue interval saturates at
@@ -121,6 +122,16 @@ def cluster_bytes_per_cycle(spec: GpuSpec) -> float:
     """
     per_cluster = spec.global_bytes_per_cycle / spec.memory.num_clusters
     return per_cluster * spec.memory.dram_efficiency
+
+
+def config_fingerprint(config: HwConfig) -> str:
+    """Content hash of a timing configuration.
+
+    Part of every measured-run cache key: editing a latency here changes
+    "measured reality", so memoized timings must be invalidated exactly
+    like re-flashing the silicon would.
+    """
+    return spec_fingerprint(config)
 
 
 DEFAULT_HW = HwConfig()

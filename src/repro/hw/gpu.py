@@ -6,22 +6,49 @@ inside a cluster), which is what produces the paper's period-10 sawtooth
 in global bandwidth (Fig. 3).  For very large homogeneous grids the
 steady state is extrapolated from two simulated waves -- block waves are
 statistically identical, so per-wave time converges immediately.
+
+Heterogeneous grids are timed through a dedup-aware cluster layer: every
+block is assigned a *class* by the content of its warp streams (the
+engine's per-block trace table maps equivalent blocks to one shared
+representative, so classing is nearly free), each cluster's per-SM
+queues reduce to a *signature* of class-ID sequences, and only one
+cluster per distinct signature is simulated -- permuted queue
+assignments included (exactly-equal queues replay bit-identically;
+permuted ones reuse the representative within jitter).  The
+genuinely distinct cluster simulations fan out across the shared process
+pool (:mod:`repro.pool`), and whole measurements are memoized on disk
+(:class:`repro.hw.engine.MeasuredRunCache`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.arch.specs import GpuSpec, GTX285
 from repro.errors import HardwareModelError
 from repro.hw.cluster import BlockWork, ClusterResult, ClusterSimulator
-from repro.hw.config import HwConfig
+from repro.hw.config import HwConfig, config_fingerprint
+from repro.hw.engine import (
+    HW_CACHE_VERSION,
+    MeasuredRunCache,
+    simulate_clusters,
+    stream_digest,
+)
 from repro.sim.trace import BlockTrace
+from repro.util import spec_fingerprint
 
 
 @dataclass(frozen=True)
 class MeasuredRun:
-    """A hardware measurement of one kernel launch."""
+    """A hardware measurement of one kernel launch.
+
+    ``cluster_sims`` counts the cluster simulations actually executed;
+    ``signature_hits`` the clusters served from a memoized signature
+    (plus, for extrapolated runs, tail patterns shared across clusters).
+    ``from_cache`` marks runs replayed from the on-disk measured-run
+    cache without simulating anything.
+    """
 
     cycles: float
     seconds: float
@@ -29,6 +56,9 @@ class MeasuredRun:
     events: int
     cache_hit_rate: float = 0.0
     extrapolated: bool = False
+    cluster_sims: int = 0
+    signature_hits: int = 0
+    from_cache: bool = False
 
     @property
     def milliseconds(self) -> float:
@@ -36,13 +66,38 @@ class MeasuredRun:
 
 
 class HardwareGpu:
-    """The silicon stand-in: times kernel launches from warp traces."""
+    """The silicon stand-in: times kernel launches from warp traces.
+
+    Parameters
+    ----------
+    spec, config:
+        The modelled architecture and its timing constants.
+    workers:
+        Process-pool width for fanning distinct cluster simulations out
+        (0/1 = in-process).  Parallel runs are bit-identical to serial.
+    cache_dir:
+        Directory for the on-disk :class:`MeasuredRun` memo cache;
+        ``None`` disables memoization.
+    """
+
+    #: Pools only pay off for real work: measurements whose queues
+    #: replay fewer events than this stay serial even with workers > 1
+    #: (results are bit-identical either way; this is purely wall-clock).
+    min_parallel_events = 50_000
 
     def __init__(
-        self, spec: GpuSpec = GTX285, config: HwConfig | None = None
+        self,
+        spec: GpuSpec = GTX285,
+        config: HwConfig | None = None,
+        workers: int = 0,
+        cache_dir: str | None = None,
     ) -> None:
         self.spec = spec
         self.config = config or HwConfig()
+        self.workers = max(0, int(workers))
+        self.cache = (
+            MeasuredRunCache(cache_dir) if cache_dir is not None else None
+        )
 
     # ------------------------------------------------------------------
     # microbenchmark-style measurement: identical SMs, one cluster
@@ -69,12 +124,17 @@ class HardwareGpu:
         use_cache: bool = False,
         wave_extrapolation: bool = True,
         sim_clusters: list[int] | None = None,
+        dedup: bool = True,
     ) -> MeasuredRun:
         """Time a launch of ``num_blocks`` blocks.
 
         ``traces`` supplies per-block warp streams; a single trace means
-        a homogeneous grid, a list is cycled across block indices (the
-        representative-sample methodology).
+        a homogeneous grid, a list is cycled across block indices -- a
+        full per-block table (one entry per block, as the engine's exact
+        trace tables provide) or a shorter representative sample.
+        ``dedup=False`` disables signature memoization and replays every
+        chosen cluster (the pre-dedup behaviour, kept for differential
+        benchmarks).
         """
         if num_blocks <= 0:
             raise HardwareModelError("num_blocks must be positive")
@@ -88,56 +148,42 @@ class HardwareGpu:
         num_clusters = self.spec.memory.num_clusters
         sms_per_cluster = self.spec.sms_per_cluster
         counts = self._block_counts(num_blocks, num_clusters, sms_per_cluster)
+        class_ids, class_digests = self._class_table(works)
 
+        key = None
+        if self.cache is not None and sim_clusters is None:
+            key = self._measure_key(
+                class_digests,
+                class_ids,
+                num_blocks,
+                resident_per_sm,
+                use_cache,
+                wave_extrapolation,
+                dedup,
+            )
+            cached = self.cache.load(key)
+            if cached is not None:
+                return cached
+
+        run = None
         if homogeneous and wave_extrapolation:
             run = self._measure_homogeneous(
                 works[0], counts, resident_per_sm, use_cache
             )
-            if run is not None:
-                return run
-
-        chosen = sim_clusters
-        if chosen is None:
-            if homogeneous or num_blocks <= 30 * num_clusters:
-                chosen = list(range(num_clusters))
-            else:
-                # Cycled samples make clusters statistically identical;
-                # the extremes of the block distribution bound the time.
-                chosen = [0, num_clusters - 1]
-
-        cluster_cycles: list[float] = []
-        events = 0
-        hits = misses = 0
-        signature_cache: dict[tuple, ClusterResult] = {}
-        for c in range(num_clusters):
-            if c not in chosen:
-                continue
-            queues = self._cluster_queues(c, counts[c], works, num_clusters)
-            if homogeneous:
-                signature = tuple(len(q) for q in queues)
-                result = signature_cache.get(signature)
-                if result is None:
-                    result = ClusterSimulator(
-                        self.spec, self.config, use_cache
-                    ).run(queues, resident_per_sm)
-                    signature_cache[signature] = result
-            else:
-                result = ClusterSimulator(self.spec, self.config, use_cache).run(
-                    queues, resident_per_sm
-                )
-            cluster_cycles.append(result.cycles)
-            events += result.events
-            hits += result.cache_hits
-            misses += result.cache_misses
-
-        cycles = max(cluster_cycles)
-        return MeasuredRun(
-            cycles=cycles,
-            seconds=cycles / self.spec.core_clock_hz,
-            cluster_cycles=tuple(cluster_cycles),
-            events=events,
-            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
-        )
+        if run is None:
+            run = self._measure_clusters(
+                works,
+                class_ids,
+                counts,
+                num_blocks,
+                resident_per_sm,
+                use_cache,
+                sim_clusters,
+                dedup,
+            )
+        if key is not None:
+            self.cache.store(key, run)
+        return run
 
     # ------------------------------------------------------------------
     # internals
@@ -161,22 +207,192 @@ class HardwareGpu:
         return counts
 
     @staticmethod
-    def _cluster_queues(
+    def _cluster_index_queues(
         cluster: int,
         counts: list[int],
-        works: list[BlockWork],
+        num_traces: int,
         num_clusters: int,
-    ) -> list[list[BlockWork]]:
-        """Build per-SM block queues, cycling the sample traces."""
-        queues: list[list[BlockWork]] = []
+    ) -> list[list[int]]:
+        """Per-SM queues of trace indices, cycling the trace table."""
+        queues: list[list[int]] = []
         sms_per_cluster = len(counts)
         for sm, count in enumerate(counts):
-            queue = []
-            for k in range(count):
-                block_index = cluster + num_clusters * (sm + sms_per_cluster * k)
-                queue.append(works[block_index % len(works)])
-            queues.append(queue)
+            queues.append(
+                [
+                    (cluster + num_clusters * (sm + sms_per_cluster * k))
+                    % num_traces
+                    for k in range(count)
+                ]
+            )
         return queues
+
+    @staticmethod
+    def _class_table(works: list[BlockWork]) -> tuple[list[int], list[str]]:
+        """Class IDs (dense ints) and content digests for a trace table.
+
+        Identity short-circuits the digest: the engine hands every
+        member of an equivalence class the same trace object, so a
+        class is digested once no matter how large the grid is.
+        Content-equal traces from *distinct* objects also unify, which
+        lets hand-built trace lists dedup too.
+        """
+        digest_by_id: dict[int, str] = {}
+        class_of_digest: dict[str, int] = {}
+        class_ids: list[int] = []
+        digests: list[str] = []
+        for work in works:
+            digest = digest_by_id.get(id(work))
+            if digest is None:
+                digest = stream_digest(work)
+                digest_by_id[id(work)] = digest
+            class_id = class_of_digest.get(digest)
+            if class_id is None:
+                class_id = len(digests)
+                class_of_digest[digest] = class_id
+                digests.append(digest)
+            class_ids.append(class_id)
+        return class_ids, digests
+
+    def _measure_key(
+        self,
+        class_digests: list[str],
+        class_ids: list[int],
+        num_blocks: int,
+        resident_per_sm: int,
+        use_cache: bool,
+        wave_extrapolation: bool,
+        dedup: bool,
+    ) -> str:
+        """On-disk cache key for one measurement.
+
+        The pool width is deliberately absent: parallel runs are
+        bit-identical to serial ones, so any width may share an entry.
+        """
+        h = hashlib.sha256()
+        h.update(f"hw-v{HW_CACHE_VERSION};".encode())
+        h.update(spec_fingerprint(self.spec).encode())
+        h.update(config_fingerprint(self.config).encode())
+        h.update(
+            f"blocks={num_blocks};resident={resident_per_sm};"
+            f"cache={use_cache};wave={wave_extrapolation};"
+            f"dedup={dedup};".encode()
+        )
+        for digest in class_digests:
+            h.update(digest.encode())
+        h.update(repr(tuple(class_ids)).encode())
+        return h.hexdigest()
+
+    def _effective_workers(self, jobs: list) -> int:
+        """Serial below the event floor: pool startup would dominate."""
+        if self.workers <= 1 or len(jobs) <= 1:
+            return 0
+        total_events = sum(
+            len(stream)
+            for queues, _ in jobs
+            for queue in queues
+            for work in queue
+            for stream in work
+        )
+        return self.workers if total_events >= self.min_parallel_events else 0
+
+    def _measure_clusters(
+        self,
+        works: list[BlockWork],
+        class_ids: list[int],
+        counts: list[list[int]],
+        num_blocks: int,
+        resident_per_sm: int,
+        use_cache: bool,
+        sim_clusters: list[int] | None,
+        dedup: bool,
+    ) -> MeasuredRun:
+        """Signature-deduplicated, optionally parallel cluster timing."""
+        num_clusters = self.spec.memory.num_clusters
+        uniform = len(set(class_ids)) == 1
+        exact_table = len(works) == num_blocks
+
+        chosen = sim_clusters
+        if chosen is None:
+            if uniform or exact_table or num_blocks <= 30 * num_clusters:
+                # Exact per-block tables always time every cluster: with
+                # dedup and the pool, the full sweep is affordable.
+                chosen = list(range(num_clusters))
+            else:
+                # Cycled samples make clusters statistically identical;
+                # the extremes of the block distribution bound the time.
+                chosen = [0, num_clusters - 1]
+        chosen = sorted(set(chosen))
+
+        jobs: list[tuple] = []
+        job_of_signature: dict[tuple, int] = {}
+        job_for_cluster: dict[int, int] = {}
+        for cluster in chosen:
+            index_queues = self._cluster_index_queues(
+                cluster, counts[cluster], len(works), num_clusters
+            )
+            payload = (
+                [[works[i] for i in queue] for queue in index_queues],
+                resident_per_sm,
+            )
+            if dedup:
+                # Memo key: per-SM class sequences sorted descending, so
+                # clusters whose queues are *permutations* of a
+                # simulated one are never replayed.  The representative
+                # simulates its natural arrangement: clusters whose
+                # queues exactly equal the representative's then match
+                # naive replay bit for bit (ClusterSimulator is a pure
+                # function of its queues); genuinely permuted clusters
+                # reuse the representative's result, exact in the
+                # jitter-free model and bounded by the jitter amplitude
+                # otherwise (completion jitter is keyed by launch-order
+                # warp ids, so SMs are symmetric only up to jitter).
+                signature = tuple(
+                    sorted(
+                        (
+                            tuple(class_ids[i] for i in queue)
+                            for queue in index_queues
+                        ),
+                        reverse=True,
+                    )
+                )
+                job = job_of_signature.get(signature)
+                if job is None:
+                    job = len(jobs)
+                    job_of_signature[signature] = job
+                    jobs.append(payload)
+            else:
+                job = len(jobs)
+                jobs.append(payload)
+            job_for_cluster[cluster] = job
+
+        results = simulate_clusters(
+            jobs,
+            self.spec,
+            self.config,
+            use_cache,
+            self._effective_workers(jobs),
+        )
+
+        cluster_cycles: list[float] = []
+        events = 0
+        hits = misses = 0
+        for cluster in chosen:
+            result = results[job_for_cluster[cluster]]
+            cluster_cycles.append(result.cycles)
+            events += result.events
+            hits += result.cache_hits
+            misses += result.cache_misses
+
+        cycles = max(cluster_cycles)
+        return MeasuredRun(
+            cycles=cycles,
+            seconds=cycles / self.spec.core_clock_hz,
+            cluster_cycles=tuple(cluster_cycles),
+            events=events,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            cluster_sims=len(jobs),
+            signature_hits=len(chosen) - len(jobs),
+        )
 
     def _measure_homogeneous(
         self,
@@ -190,43 +406,56 @@ class HardwareGpu:
         Simulates one and two full waves; each further wave adds the
         (two-wave minus one-wave) delta.  Requires every SM to have at
         least three full waves queued, otherwise exact simulation is
-        cheap enough and ``None`` is returned.
+        cheap enough and ``None`` is returned.  The wave and tail
+        simulations are independent, so they run through the shared
+        cluster pool, and their texture-cache statistics are aggregated
+        per cluster exactly like the non-extrapolated path's.
         """
         resident = resident_per_sm
         min_count = min(min(c) for c in counts)
         if min_count < 3 * resident:
             return None
+        sms = self.spec.sms_per_cluster
 
-        def uniform_time(blocks_per_sm: int) -> ClusterResult:
-            queues = [
-                [work] * blocks_per_sm
-                for _ in range(self.spec.sms_per_cluster)
-            ]
-            return ClusterSimulator(self.spec, self.config, use_cache).run(
-                queues, resident
-            )
-
-        one = uniform_time(resident)
-        two = uniform_time(2 * resident)
-        delta = two.cycles - one.cycles
-
-        cluster_cycles = []
-        events = one.events + two.events
-        tail_cache: dict[tuple, float] = {}
+        # Per-cluster tail patterns; distinct ones become pool jobs
+        # alongside the one-wave and two-wave steady-state probes.
+        per_cluster: list[tuple[int, tuple[int, ...]]] = []
+        job_of_tail: dict[tuple[int, ...], int] = {}
+        jobs: list[tuple] = [
+            ([[work] * resident for _ in range(sms)], resident),
+            ([[work] * (2 * resident) for _ in range(sms)], resident),
+        ]
         for per_sm in counts:
             full_waves = min(count // resident for count in per_sm)
             skip = max(full_waves - 2, 0)
             tail_counts = tuple(count - skip * resident for count in per_sm)
-            tail_time = tail_cache.get(tail_counts)
-            if tail_time is None:
-                queues = [[work] * count for count in tail_counts]
-                result = ClusterSimulator(self.spec, self.config, use_cache).run(
-                    queues, resident
+            per_cluster.append((skip, tail_counts))
+            if tail_counts not in job_of_tail:
+                job_of_tail[tail_counts] = len(jobs)
+                jobs.append(
+                    ([[work] * count for count in tail_counts], resident)
                 )
-                tail_time = result.cycles
-                events += result.events
-                tail_cache[tail_counts] = tail_time
-            cluster_cycles.append(skip * delta + tail_time)
+
+        results = simulate_clusters(
+            jobs,
+            self.spec,
+            self.config,
+            use_cache,
+            self._effective_workers(jobs),
+        )
+        one, two = results[0], results[1]
+        delta = two.cycles - one.cycles
+
+        events = one.events + two.events
+        hits = one.cache_hits + two.cache_hits
+        misses = one.cache_misses + two.cache_misses
+        cluster_cycles = []
+        for skip, tail_counts in per_cluster:
+            result = results[job_of_tail[tail_counts]]
+            cluster_cycles.append(skip * delta + result.cycles)
+            events += result.events
+            hits += result.cache_hits
+            misses += result.cache_misses
 
         cycles = max(cluster_cycles)
         return MeasuredRun(
@@ -234,5 +463,8 @@ class HardwareGpu:
             seconds=cycles / self.spec.core_clock_hz,
             cluster_cycles=tuple(cluster_cycles),
             events=events,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
             extrapolated=True,
+            cluster_sims=len(jobs),
+            signature_hits=len(counts) - len(job_of_tail),
         )

@@ -45,6 +45,11 @@ def default_trace_cache_dir() -> Path:
     return default_cache_dir() / "traces"
 
 
+def default_measure_cache_dir() -> Path:
+    """Directory for the timing layer's MeasuredRun memo cache."""
+    return default_cache_dir() / "measured"
+
+
 def _sweep_key(warp_counts: tuple[int, ...], iterations: int) -> list:
     return [list(warp_counts), iterations]
 

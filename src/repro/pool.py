@@ -1,0 +1,68 @@
+"""Shared process-pool plumbing for the simulation layers.
+
+Both the functional-simulation engine (:mod:`repro.sim.engine`) and the
+hardware timing layer (:mod:`repro.hw.engine`) fan independent tasks
+across a ``multiprocessing`` pool.  This module owns the one pool policy
+they share, so worker-count semantics and start-method quirks cannot
+drift apart:
+
+* **fork on Linux only.**  macOS still offers fork, but forking after
+  numpy/Accelerate initialisation can deadlock children; everywhere but
+  Linux the safer (slower) spawn method is used.
+* **serial fallback.**  ``workers <= 1`` or a single task runs in the
+  caller's process through ``serial_fn`` -- the only mode whose side
+  effects (e.g. global-memory writes) are observable to the caller, and
+  the mode every parallel run must be bit-identical to.
+* **deterministic aggregation.**  Results come back in task order
+  (``pool.map``), so callers reduce them exactly as a serial loop would.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Iterable, Sequence
+
+
+def start_method() -> str:
+    """The multiprocessing start method both simulation layers use."""
+    import multiprocessing
+
+    if (
+        sys.platform == "linux"
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return "fork"
+    return "spawn"
+
+
+def map_tasks(
+    tasks: Sequence,
+    workers: int,
+    serial_fn: Callable,
+    worker_fn: Callable,
+    initializer: Callable | None = None,
+    initargs: Iterable = (),
+) -> list:
+    """Apply a function to every task, preserving task order.
+
+    ``workers <= 1`` (or a single task) calls ``serial_fn`` in-process;
+    otherwise a pool of ``min(workers, len(tasks))`` processes is built
+    with ``initializer(*initargs)`` and each task is handed to the
+    module-level (picklable) ``worker_fn``.  The two functions must
+    compute the same pure result for a task; parallel runs are then
+    bit-identical to serial ones.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers <= 1 or len(tasks) == 1:
+        return [serial_fn(task) for task in tasks]
+    import multiprocessing
+
+    context = multiprocessing.get_context(start_method())
+    processes = min(workers, len(tasks))
+    chunksize = max(1, len(tasks) // (processes * 4))
+    with context.Pool(
+        processes=processes, initializer=initializer, initargs=tuple(initargs)
+    ) as pool:
+        return pool.map(worker_fn, tasks, chunksize=chunksize)

@@ -35,11 +35,11 @@ pattern -- so the engine exploits that structure instead of brute force:
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import os
-import pickle
-import sys
 import time
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.arch.specs import GpuSpec, GTX285
@@ -47,9 +47,10 @@ from repro.errors import LaunchError
 from repro.isa.instructions import MemRef, Pred, Reg, Special
 from repro.isa.opcodes import OpKind
 from repro.isa.program import Kernel
+from repro.pool import map_tasks
 from repro.sim.functional import FunctionalSimulator, LaunchConfig
 from repro.sim.memory import GlobalMemory
-from repro.util import atomic_write_bytes, spec_fingerprint
+from repro.util import VersionedPickleCache, spec_fingerprint
 from repro.sim.trace import (
     BlockTrace,
     KernelTrace,
@@ -58,7 +59,8 @@ from repro.sim.trace import (
 )
 
 #: Bump when trace or aggregation semantics change: invalidates caches.
-ENGINE_CACHE_VERSION = 1
+#: v2: BlockTrace carries global load/store footprints (RAW check).
+ENGINE_CACHE_VERSION = 2
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -372,38 +374,91 @@ def _launch_key(launch: LaunchConfig) -> tuple:
     )
 
 
-class TraceCache:
-    """Pickled :class:`KernelTrace` results keyed by content hashes."""
+class TraceCache(VersionedPickleCache):
+    """Pickled :class:`KernelTrace` results keyed by content hashes.
+
+    Shared mechanics (fail-open loads, mtime-refreshing LRU, atomic
+    stores under the ``$REPRO_CACHE_MAX_BYTES`` budget) live in
+    :class:`repro.util.VersionedPickleCache`.
+    """
 
     def __init__(self, directory: str | os.PathLike) -> None:
-        self.directory = os.fspath(directory)
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.trace.pkl")
+        super().__init__(directory, ENGINE_CACHE_VERSION, ".trace.pkl")
 
     def load(self, key: str) -> KernelTrace | None:
-        path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except Exception:
-            # Fail open: unpickling arbitrary bytes can raise nearly
-            # anything; a broken cache entry is a miss, never a crash.
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("version") != ENGINE_CACHE_VERSION:
-            return None
-        trace = payload.get("trace")
+        trace = self.load_payload(key)
         return trace if isinstance(trace, KernelTrace) else None
 
     def store(self, key: str, trace: KernelTrace) -> None:
-        payload = {"version": ENGINE_CACHE_VERSION, "trace": trace}
-        # A cold cache is never an error: atomic_write_bytes fails open.
-        atomic_write_bytes(
-            self._path(key),
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        self.store_payload(key, trace)
+
+
+# ----------------------------------------------------------------------
+# cross-block read-after-write detection
+# ----------------------------------------------------------------------
+def find_cross_block_raw(
+    traces: list[BlockTrace],
+) -> list[tuple[tuple, tuple, tuple, tuple]]:
+    """Store/load range-overlap check across simulated blocks.
+
+    Returns ``(loading block, load range, storing block, store range)``
+    tuples, at most one per block whose global-load footprint overlaps
+    another block's global-store footprint.  Blocks of one launch
+    cannot synchronize, so such a kernel has no defined result in the
+    CUDA model and its recorded statistics are schedule-dependent (see
+    DESIGN.md "Parallelism knobs").  Footprints are per-allocation
+    hulls: a reported overlap may be a false positive *within* one
+    allocation (a block striding past another's slice), but disjoint
+    hulls are a sound proof of independence, and separate allocations
+    never conflict.
+    """
+    stores = sorted(
+        (lo, hi, trace.block)
+        for trace in traces
+        for lo, hi in trace.global_store_ranges
+    )
+    if not stores:
+        return []
+    store_lows = [lo for lo, _, _ in stores]
+    # Prefix "top two store ends from distinct blocks": enough to find,
+    # for any load, an overlapping store from a *different* block
+    # (second always tracks the best hull owned by another block than
+    # best's, even with several hulls per block).
+    best: tuple[int, tuple | None] = (-1, None)  # (hi, (lo, hi, block))
+    second: tuple[int, tuple | None] = (-1, None)  # best of other blocks
+    prefix = []
+    for lo, hi, block in stores:
+        if best[1] is None or hi > best[0]:
+            if best[1] is not None and best[1][2] != block and best[0] > second[0]:
+                second = best
+            best = (hi, (lo, hi, block))
+        elif block != best[1][2] and hi > second[0]:
+            second = (hi, (lo, hi, block))
+        prefix.append((best, second))
+
+    conflicts = []
+    for trace in traces:
+        for lo, hi in trace.global_load_ranges:
+            index = bisect.bisect_left(store_lows, hi)  # stores with lo < hi
+            if not index:
+                continue
+            top, other = prefix[index - 1]
+            overlap = None
+            if top[1] is not None and top[1][2] != trace.block and top[0] > lo:
+                overlap = top[1]
+            elif other[1] is not None and other[0] > lo:
+                overlap = other[1]
+            if overlap is not None:
+                conflicts.append(
+                    (
+                        trace.block,
+                        (lo, hi),
+                        overlap[2],
+                        (overlap[0], overlap[1]),
+                    )
+                )
+                break  # one report per loading block is enough
+    return conflicts
 
 
 # ----------------------------------------------------------------------
@@ -502,6 +557,9 @@ class SimulationEngine:
                         wall_seconds=time.perf_counter() - started,
                     )
                 cached.engine_stats = stats
+                # Cached block traces carry their footprints: warm runs
+                # of a schedule-dependent kernel must warn too.
+                self._warn_cross_block_raw(cached.block_traces)
                 return cached
 
         if blocks is not None:
@@ -548,6 +606,7 @@ class SimulationEngine:
         started: float,
     ) -> tuple[KernelTrace, EngineStats]:
         traces = self._simulate(launch, blocks)
+        self._warn_cross_block_raw(traces)
         trace = aggregate_blocks(traces, scale_to_blocks=launch.num_blocks)
         stats = self._stats(launch, len(blocks), 0, 0, "sample", started)
         return trace, stats
@@ -557,6 +616,7 @@ class SimulationEngine:
     ) -> tuple[KernelTrace, EngineStats]:
         blocks = launch.all_blocks()
         traces = self._simulate(launch, blocks)
+        self._warn_cross_block_raw(traces)
         trace = aggregate_blocks(traces)
         stats = self._stats(launch, len(blocks), 0, 0, "full", started)
         return trace, stats
@@ -597,6 +657,9 @@ class SimulationEngine:
             zip(fallback_blocks, self._simulate(launch, fallback_blocks))
         )
         simulated_traces = {**probe_traces, **fallback_traces}
+        # Data-dependent grids are all singleton classes, so at this
+        # point every block has a real trace: check cross-block RAW.
+        self._warn_cross_block_raw(list(simulated_traces.values()))
 
         # Phase 3: exact aggregation with per-class multiplicities, and
         # a per-block trace table so the timing simulator sees the right
@@ -642,26 +705,17 @@ class SimulationEngine:
     def _simulate(
         self, launch: LaunchConfig, blocks: list[tuple[int, int]]
     ) -> list[BlockTrace]:
-        """Simulate blocks, preserving order; parallel when configured."""
-        if not blocks:
-            return []
-        if self.workers <= 1 or len(blocks) == 1:
-            return [self.simulator.run_block(launch, b) for b in blocks]
-        import multiprocessing
+        """Simulate blocks, preserving order; parallel when configured.
 
-        # Prefer fork only on Linux: macOS has it available but forking
-        # after numpy/Accelerate initialisation can deadlock children.
-        method = (
-            "fork"
-            if sys.platform == "linux"
-            and "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        context = multiprocessing.get_context(method)
-        workers = min(self.workers, len(blocks))
-        chunksize = max(1, len(blocks) // (workers * 4))
-        with context.Pool(
-            processes=workers,
+        Pool policy (fork on Linux only, serial fallback, deterministic
+        order) lives in :mod:`repro.pool`, shared with the hardware
+        timing layer.
+        """
+        return map_tasks(
+            blocks,
+            self.workers,
+            serial_fn=lambda block: self.simulator.run_block(launch, block),
+            worker_fn=_run_block_task,
             initializer=_init_worker,
             initargs=(
                 self.kernel,
@@ -670,8 +724,43 @@ class SimulationEngine:
                 self.max_warp_instructions,
                 launch,
             ),
-        ) as pool:
-            return pool.map(_run_block_task, blocks, chunksize=chunksize)
+        )
+
+    def _warn_cross_block_raw(self, traces: list[BlockTrace]) -> None:
+        """Warn when simulated blocks read ranges other blocks wrote.
+
+        Only data-dependent kernels are checked: for them the loaded
+        values can steer addresses or control flow, so cross-block
+        visibility (serial row-major vs per-worker pre-launch copies)
+        changes the *statistics*, not just the numerics.  Block-uniform
+        kernels replicate one representative and are schedule-
+        independent by construction.
+        """
+        if not self.dependence.data_dependent:
+            return
+        conflicts = find_cross_block_raw(traces)
+        if not conflicts:
+            return
+
+        def describe(block, span):
+            allocation = self.gmem.allocation_at(span[0])
+            name = allocation.name if allocation else "?"
+            return f"block {block} [{span[0]:#x}, {span[1]:#x}) in {name!r}"
+
+        shown = "; ".join(
+            f"{describe(loader, load_span)} overlaps stores of "
+            f"{describe(storer, store_span)}"
+            for loader, load_span, storer, store_span in conflicts[:3]
+        )
+        warnings.warn(
+            f"kernel {self.kernel.name!r}: cross-block global "
+            f"read-after-write detected ({len(conflicts)} overlapping "
+            f"block(s)): {shown}. Blocks of one launch cannot "
+            "synchronize, so these statistics are schedule-dependent "
+            "(see DESIGN.md 'Parallelism knobs').",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     # ------------------------------------------------------------------
     def _cache_key(

@@ -208,6 +208,8 @@ class _BlockRun:
         "stage",
         "stage_warps",
         "warps",
+        "load_ranges",
+        "store_ranges",
     )
 
     def __init__(
@@ -248,6 +250,8 @@ class _BlockRun:
         self.stages = [StageStats()]
         self.stage = self.stages[0]
         self.stage_warps: set[int] = set()
+        self.load_ranges: dict[str, list[int]] = {}
+        self.store_ranges: dict[str, list[int]] = {}
 
     def next_stage(self) -> None:
         self.stage.active_warps = len(self.stage_warps)
@@ -255,11 +259,39 @@ class _BlockRun:
         self.stage = StageStats()
         self.stages.append(self.stage)
 
+    def track_global(self, array: str, addresses, is_load: bool) -> None:
+        """Widen the block's load/store footprint, per allocation.
+
+        One hull per accessed allocation keeps the engine's cross-block
+        RAW check free of cross-allocation false positives: a store-only
+        output laid out between two load-only inputs must not appear
+        inside the load hull.
+        """
+        lo = int(addresses.min())
+        hi = int(addresses.max()) + 4
+        ranges = self.load_ranges if is_load else self.store_ranges
+        span = ranges.get(array)
+        if span is None:
+            ranges[array] = [lo, hi]
+        else:
+            if lo < span[0]:
+                span[0] = lo
+            if hi > span[1]:
+                span[1] = hi
+
     def finish(self) -> BlockTrace:
         self.stage.active_warps = len(self.stage_warps)
         streams = [warp.stream for warp in self.warps]
         return BlockTrace(
-            block=self.block, stages=self.stages, warp_streams=streams
+            block=self.block,
+            stages=self.stages,
+            warp_streams=streams,
+            global_load_ranges=tuple(
+                (lo, hi) for lo, hi in self.load_ranges.values()
+            ),
+            global_store_ranges=tuple(
+                (lo, hi) for lo, hi in self.store_ranges.values()
+            ),
         )
 
 
@@ -605,6 +637,7 @@ class FunctionalSimulator:
             first_address = int(addresses[active][0])
             allocation = self.gmem.allocation_at(first_address)
             array_name = allocation.name if allocation else "?"
+            run.track_global(array_name, addresses[active], is_load)
             cacheable = self.gmem.is_cacheable(first_address)
             for position, granularity in enumerate(run.launch.granularities):
                 # Granularity 4 is the paper's "ideal" case: each

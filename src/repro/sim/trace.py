@@ -162,11 +162,21 @@ class StageStats:
 
 @dataclass
 class BlockTrace:
-    """Everything recorded while simulating one block."""
+    """Everything recorded while simulating one block.
+
+    ``global_load_ranges`` / ``global_store_ranges`` are byte spans
+    ``[lo, hi)`` this block touched through global loads and stores,
+    one hull per accessed allocation.  The engine's cross-block
+    read-after-write check compares them across blocks; they are
+    deliberately excluded from :meth:`stats_key`, since block-shifted
+    bases move the footprint without changing behaviour.
+    """
 
     block: tuple[int, int]
     stages: list[StageStats]
     warp_streams: list[list[Event]]
+    global_load_ranges: tuple[tuple[int, int], ...] = ()
+    global_store_ranges: tuple[tuple[int, int], ...] = ()
 
     @property
     def num_warps(self) -> int:

@@ -6,6 +6,13 @@ import dataclasses
 import hashlib
 import json
 import os
+import pickle
+
+#: Environment variable capping each on-disk cache directory's size.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Default per-directory cache budget (bytes): 1 GiB.
+DEFAULT_CACHE_MAX_BYTES = 1 << 30
 
 
 def spec_fingerprint(spec) -> str:
@@ -45,3 +52,126 @@ def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> bool:
         except OSError:
             pass
         return False
+
+
+class VersionedPickleCache:
+    """Shared protocol of the on-disk pickle caches.
+
+    One implementation of the rules every cache directory follows --
+    versioned dict payloads, fail-open loads that refresh mtime for LRU
+    ordering, atomic stores followed by :func:`evict_lru` -- so the
+    trace and measured-run caches cannot drift apart.  Subclasses pass
+    their version constant and file suffix, and type-check the loaded
+    value.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, version, suffix: str = ".pkl"
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.version = version
+        self.suffix = suffix
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}{self.suffix}")
+
+    def load_payload(self, key: str):
+        """The stored value for ``key``, or ``None`` on any miss.
+
+        Unpickling arbitrary bytes can raise nearly anything; a broken
+        or version-mismatched entry is a miss, never a crash.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != self.version:
+            return None
+        value = payload.get("value")
+        if value is None:
+            return None
+        try:
+            os.utime(path)  # refresh mtime: LRU recency, not just age
+        except OSError:
+            pass
+        return value
+
+    def store_payload(self, key: str, value) -> None:
+        """Atomically persist ``value``; fail open, then enforce the
+        directory's size budget without evicting the fresh entry."""
+        payload = {"version": self.version, "value": value}
+        path = self._path(key)
+        if atomic_write_bytes(
+            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        ):
+            evict_lru(self.directory, keep=(path,))
+
+
+def cache_max_bytes() -> int:
+    """Per-directory size budget for the on-disk caches.
+
+    Read from ``$REPRO_CACHE_MAX_BYTES``; values ``<= 0`` disable
+    eviction entirely, unparsable values fall back to the default
+    (fail open, like every other cache-layer error).
+    """
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV)
+    if raw is None:
+        return DEFAULT_CACHE_MAX_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_MAX_BYTES
+
+
+def evict_lru(
+    directory: str | os.PathLike,
+    max_bytes: int | None = None,
+    keep: tuple = (),
+) -> int:
+    """Least-recently-used eviction for one cache directory.
+
+    Deletes oldest-mtime files until the directory's regular files fit
+    inside ``max_bytes`` (default: :func:`cache_max_bytes`); loads keep
+    entries fresh by touching their mtime, so mtime order approximates
+    recency of *use*, not just of creation.  Paths in ``keep`` (e.g. an
+    entry written moments ago) are never evicted.  Returns the number of
+    files removed; every filesystem error fails open.
+    """
+    if max_bytes is None:
+        max_bytes = cache_max_bytes()
+    if max_bytes <= 0:
+        return 0
+    directory = os.fspath(directory)
+    keep_paths = {os.path.abspath(os.fspath(p)) for p in keep}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    entries = []
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            status = os.stat(path)
+        except OSError:
+            continue
+        if not os.path.isfile(path):
+            continue
+        entries.append((status.st_mtime, status.st_size, path))
+    total = sum(size for _, size, _ in entries)
+    evicted = 0
+    for _, size, path in sorted(entries):
+        if total <= max_bytes:
+            break
+        if os.path.abspath(path) in keep_paths:
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    return evicted

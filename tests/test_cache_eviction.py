@@ -1,0 +1,131 @@
+"""Size-capped LRU eviction for the on-disk caches.
+
+The trace and measured-run caches grow unboundedly across launches
+without a cap (ROADMAP); ``repro.util.evict_lru`` bounds each cache
+directory to ``$REPRO_CACHE_MAX_BYTES``, evicting oldest-mtime entries
+first and failing open on every filesystem error.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.hw import HardwareGpu
+from repro.isa import Imm, KernelBuilder
+from repro.sim import GlobalMemory, LaunchConfig, SimulationEngine
+from repro.sim.trace import BlockTrace, EV_GLOBAL_LD
+from repro.util import (
+    CACHE_MAX_BYTES_ENV,
+    DEFAULT_CACHE_MAX_BYTES,
+    cache_max_bytes,
+    evict_lru,
+)
+
+
+def _write(path, nbytes, age):
+    path.write_bytes(b"x" * nbytes)
+    stamp = time.time() - age
+    os.utime(path, (stamp, stamp))
+
+
+class TestCacheMaxBytes:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV, raising=False)
+        assert cache_max_bytes() == DEFAULT_CACHE_MAX_BYTES
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
+        assert cache_max_bytes() == 12345
+
+    def test_garbage_env_fails_open_to_default(self, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "a lot")
+        assert cache_max_bytes() == DEFAULT_CACHE_MAX_BYTES
+
+    def test_nonpositive_disables_eviction(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
+        _write(tmp_path / "old.pkl", 100, age=60)
+        assert evict_lru(tmp_path) == 0
+        assert (tmp_path / "old.pkl").exists()
+
+
+class TestEvictLru:
+    def test_oldest_entries_go_first(self, tmp_path):
+        _write(tmp_path / "oldest.pkl", 100, age=300)
+        _write(tmp_path / "middle.pkl", 100, age=200)
+        _write(tmp_path / "newest.pkl", 100, age=100)
+        assert evict_lru(tmp_path, max_bytes=250) == 1
+        assert not (tmp_path / "oldest.pkl").exists()
+        assert (tmp_path / "middle.pkl").exists()
+        assert (tmp_path / "newest.pkl").exists()
+
+    def test_within_budget_is_untouched(self, tmp_path):
+        _write(tmp_path / "a.pkl", 100, age=300)
+        _write(tmp_path / "b.pkl", 100, age=100)
+        assert evict_lru(tmp_path, max_bytes=500) == 0
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_keep_paths_survive(self, tmp_path):
+        _write(tmp_path / "old.pkl", 100, age=300)
+        _write(tmp_path / "new.pkl", 100, age=100)
+        evict_lru(tmp_path, max_bytes=50, keep=(tmp_path / "new.pkl",))
+        assert not (tmp_path / "old.pkl").exists()
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_missing_directory_fails_open(self, tmp_path):
+        assert evict_lru(tmp_path / "nope", max_bytes=1) == 0
+
+
+def _engine_run(cache_dir, value):
+    """One cached engine run; distinct values produce distinct keys."""
+    gmem = GlobalMemory()
+    out = gmem.alloc(4 * 32, "out")
+    b = KernelBuilder("uniform", params=("out",))
+    addr = b.reg()
+    b.imad(addr, b.ctaid_x, b.ntid, b.tid)
+    b.imad(addr, addr, Imm(4), b.param("out"))
+    v = b.reg()
+    b.mov(v, Imm(float(value)))
+    b.stg(addr, v)
+    b.exit()
+    launch = LaunchConfig(grid=(4, 1), block_threads=32, params={"out": out})
+    import numpy as np
+
+    gmem.write(np.array([out]), np.array([float(value)]))
+    return SimulationEngine(b.build(), gmem=gmem, cache_dir=cache_dir).run(
+        launch
+    )
+
+
+class TestTraceCacheEviction:
+    def test_store_evicts_older_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "10")  # < one entry
+        _engine_run(tmp_path, 1.0)
+        _engine_run(tmp_path, 2.0)
+        entries = list(tmp_path.iterdir())
+        assert len(entries) == 1  # only the freshest entry survives
+        # ... and the survivor is the second run's entry.
+        assert _engine_run(tmp_path, 2.0).engine_stats.cache_hit
+        assert not _engine_run(tmp_path, 1.0).engine_stats.cache_hit
+
+    def test_generous_budget_keeps_everything(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, str(1 << 30))
+        _engine_run(tmp_path, 1.0)
+        _engine_run(tmp_path, 2.0)
+        assert len(list(tmp_path.iterdir())) == 2
+        assert _engine_run(tmp_path, 1.0).engine_stats.cache_hit
+
+
+class TestMeasuredRunCacheEviction:
+    def _load_block(self, n):
+        stream = [(EV_GLOBAL_LD, 0, 2, 128, None)] * n
+        return BlockTrace(block=(0, 0), stages=[], warp_streams=[stream] * 2)
+
+    def test_store_evicts_older_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "10")
+        gpu = HardwareGpu(cache_dir=str(tmp_path))
+        gpu.measure(self._load_block(20), 40, 4)
+        gpu.measure(self._load_block(30), 40, 4)
+        assert len(list(tmp_path.iterdir())) == 1
+        assert gpu.measure(self._load_block(30), 40, 4).from_cache
+        assert not gpu.measure(self._load_block(20), 40, 4).from_cache

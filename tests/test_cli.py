@@ -42,6 +42,45 @@ class TestParser:
         assert not args.no_cache
 
 
+def _tiny_tables(gpu=None, **_kwargs):
+    # Shrink the sweep: these tests exercise wiring, not curves.
+    from repro.micro.calibration import calibrate
+
+    return calibrate(gpu, warp_counts=(1, 4, 32), iterations=10)
+
+
+class TestGpuWiring:
+    def test_workers_and_measure_cache_reach_the_gpu(
+        self, tmp_path, monkeypatch
+    ):
+        # --workers governs both layers; the measured-run cache sits
+        # under the same root as calibration and traces.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.__main__ import _make_model
+        from repro.micro import cache as micro_cache
+
+        monkeypatch.setattr(micro_cache, "calibrate", _tiny_tables)
+        args = build_parser().parse_args(["matmul", "--workers", "3"])
+        gpu, _ = _make_model(args)
+        assert gpu.workers == 3
+        assert gpu.cache is not None
+        assert gpu.cache.directory == str(tmp_path / "measured")
+
+    def test_no_cache_disables_measured_run_memoization(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        import repro.micro
+
+        from repro.__main__ import _make_model
+
+        monkeypatch.setattr(repro.micro, "calibrate", _tiny_tables)
+        args = build_parser().parse_args(["matmul", "--no-cache"])
+        gpu, _ = _make_model(args)
+        assert gpu.workers == 0
+        assert gpu.cache is None
+
+
 class TestCalibrationCaching:
     def test_default_path_calibration_is_cached(self, tmp_path, monkeypatch):
         # Regression: without --calibration the CLI used to recalibrate

@@ -20,6 +20,12 @@ def load_block(n=20, warps=2):
     return block_trace([(EV_GLOBAL_LD, 0, 2, 128, None)] * n, warps)
 
 
+def cacheable_load_block(n=20, warps=2):
+    """Loads carrying texture-cacheable segment payloads."""
+    payload = (True, ((4096, 128),))
+    return block_trace([(EV_GLOBAL_LD, 0, 2, 128, payload)] * n, warps)
+
+
 class TestDistribution:
     def test_block_counts_round_robin(self):
         counts = _Gpu._block_counts(35, 10, 3)
@@ -97,3 +103,32 @@ class TestMeasurement:
         gpu = HardwareGpu()
         run = gpu.measure(arith_block(), 1, 1)
         assert run.milliseconds == pytest.approx(run.seconds * 1e3)
+
+
+class TestExtrapolatedCacheStats:
+    def test_extrapolated_run_reports_cache_hits(self):
+        # Regression: the wave-extrapolation path used to discard its
+        # ClusterResults' cache_hits/cache_misses, reporting a 0.0 hit
+        # rate for every extrapolated run even with use_cache=True.
+        gpu = HardwareGpu()
+        trace = cacheable_load_block()
+        run = gpu.measure(trace, 300, resident_per_sm=2, use_cache=True)
+        assert run.extrapolated
+        assert run.cache_hit_rate > 0.0
+
+    def test_extrapolated_rate_tracks_the_exact_path(self):
+        gpu = HardwareGpu()
+        trace = cacheable_load_block()
+        exact = gpu.measure(
+            trace, 300, 2, use_cache=True, wave_extrapolation=False
+        )
+        fast = gpu.measure(trace, 300, 2, use_cache=True)
+        assert exact.cache_hit_rate > 0.0
+        assert fast.cache_hit_rate == pytest.approx(
+            exact.cache_hit_rate, abs=0.05
+        )
+
+    def test_no_cache_still_reports_zero(self):
+        run = HardwareGpu().measure(arith_block(60), 300, 2)
+        assert run.extrapolated
+        assert run.cache_hit_rate == 0.0

@@ -1,5 +1,6 @@
 """Simulation engine: taint analysis, deduplication, parallel fan-out,
-and the on-disk trace memo cache.
+cross-block read-after-write detection, and the on-disk trace memo
+cache.
 
 The load-bearing guarantee -- engine runs are *bit-identical* to serial
 full-grid simulation in aggregate statistics and model predictions --
@@ -8,6 +9,7 @@ is asserted differentially for every case-study kernel family in
 """
 
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -29,7 +31,12 @@ from repro.sim import (
     analyze_dependence,
     partition_blocks,
 )
-from repro.sim.engine import EngineStats, kernel_fingerprint
+from repro.sim.engine import (
+    EngineStats,
+    find_cross_block_raw,
+    kernel_fingerprint,
+)
+from repro.sim.trace import BlockTrace
 
 
 def _canonical(trace):
@@ -294,6 +301,173 @@ class TestProbeVerification:
         fast = engine.run(launch)
         assert fast.engine_stats.probe_fallbacks >= 1
         assert _canonical(fast) == _canonical(serial)
+
+
+def _range_trace(block, loads=(), stores=()):
+    return BlockTrace(
+        block=block,
+        stages=[],
+        warp_streams=[],
+        global_load_ranges=tuple(loads),
+        global_store_ranges=tuple(stores),
+    )
+
+
+class TestCrossBlockRawCheck:
+    def test_find_overlapping_ranges(self):
+        traces = [
+            _range_trace((0, 0), loads=[(128, 256)], stores=[(0, 128)]),
+            _range_trace((1, 0), loads=[(256, 384)], stores=[(128, 256)]),
+        ]
+        conflicts = find_cross_block_raw(traces)
+        assert conflicts == [((0, 0), (128, 256), (1, 0), (128, 256))]
+
+    def test_same_block_overlap_is_not_a_conflict(self):
+        traces = [_range_trace((0, 0), loads=[(0, 64)], stores=[(0, 64)])]
+        assert find_cross_block_raw(traces) == []
+
+    def test_disjoint_ranges_are_clean(self):
+        traces = [
+            _range_trace(
+                (b, 0),
+                loads=[(1000, 2000)],
+                stores=[(b * 64, b * 64 + 64)],
+            )
+            for b in range(8)
+        ]
+        assert find_cross_block_raw(traces) == []
+
+    def test_multiple_hulls_per_block(self):
+        # Per-allocation hulls: a store-only region between two
+        # load-only regions must not read as overlapped.
+        clean = [
+            _range_trace(
+                (b, 0),
+                loads=[(0, 128), (512, 640)],
+                stores=[(256 + b * 32, 256 + b * 32 + 32)],
+            )
+            for b in range(4)
+        ]
+        assert find_cross_block_raw(clean) == []
+        dirty = clean + [
+            _range_trace((9, 0), loads=[(256, 288)])  # reads block 0's out
+        ]
+        conflicts = find_cross_block_raw(dirty)
+        assert conflicts == [((9, 0), (256, 288), (0, 0), (256, 288))]
+
+    def _raw_kernel(self, blocks, threads=32):
+        """Each block gathers through indices pointing into the data the
+        *next* block overwrites: a genuine cross-block global RAW whose
+        statistics depend on the schedule."""
+        total = blocks * threads
+        gmem = GlobalMemory()
+        pointers = (np.arange(total, dtype=np.float64) + threads) % total
+        base_idx = gmem.alloc_array(pointers, "idx")
+        base_data = gmem.alloc_array(np.zeros(total), "data")
+        b = KernelBuilder("raw", params=("idx", "data"))
+        gid = b.reg()
+        b.imad(gid, b.ctaid_x, b.ntid, b.tid)
+        a = b.reg()
+        b.imad(a, gid, Imm(4), b.param("idx"))
+        v = b.reg()
+        b.ldg(v, a)
+        addr = b.reg()
+        b.imad(addr, v, Imm(4), b.param("data"))
+        w = b.reg()
+        b.ldg(w, addr)  # data-dependent gather into other blocks' output
+        out = b.reg()
+        b.imad(out, gid, Imm(4), b.param("data"))
+        b.stg(out, w)
+        b.exit()
+        launch = LaunchConfig(
+            grid=(blocks, 1),
+            block_threads=threads,
+            params={"idx": base_idx, "data": base_data},
+        )
+        return b.build(), gmem, launch
+
+    def test_engine_warns_on_cross_block_raw(self):
+        kernel, gmem, launch = self._raw_kernel(blocks=4)
+        engine = SimulationEngine(kernel, gmem=gmem)
+        assert engine.dependence.data_dependent
+        with pytest.warns(RuntimeWarning, match="read-after-write"):
+            engine.run(launch)
+
+    def test_warning_names_the_overlapping_array(self):
+        kernel, gmem, launch = self._raw_kernel(blocks=4)
+        with pytest.warns(RuntimeWarning, match="'data'"):
+            SimulationEngine(kernel, gmem=gmem).run(launch)
+
+    def test_warm_cache_hits_still_warn(self, tmp_path):
+        # Cached traces carry their footprints, so the diagnostic must
+        # not vanish on the second (memoized) run.
+        kernel, gmem, launch = self._raw_kernel(blocks=4)
+        engine = SimulationEngine(kernel, gmem=gmem, cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="read-after-write"):
+            engine.run(launch)
+        with pytest.warns(RuntimeWarning, match="read-after-write"):
+            warm = engine.run(launch)
+        assert warm.engine_stats.cache_hit
+
+    def test_store_only_output_between_inputs_is_clean(self):
+        # Regression: with one hull per block the store-only 'out'
+        # allocation sat inside the [idx, data] load hull and every
+        # block spuriously conflicted; per-allocation hulls keep fully
+        # disjoint load/store sets silent.
+        blocks, threads = 4, 32
+        total = blocks * threads
+        gmem = GlobalMemory()
+        base_idx = gmem.alloc_array(
+            np.arange(total, dtype=np.float64), "idx"
+        )
+        base_out = gmem.alloc(total, "out")
+        base_data = gmem.alloc_array(np.zeros(total), "data")
+        b = KernelBuilder("gather", params=("idx", "out", "data"))
+        gid = b.reg()
+        b.imad(gid, b.ctaid_x, b.ntid, b.tid)
+        a = b.reg()
+        b.imad(a, gid, Imm(4), b.param("idx"))
+        v = b.reg()
+        b.ldg(v, a)
+        addr = b.reg()
+        b.imad(addr, v, Imm(4), b.param("data"))
+        w = b.reg()
+        b.ldg(w, addr)  # data-dependent: the check runs
+        out = b.reg()
+        b.imad(out, gid, Imm(4), b.param("out"))
+        b.stg(out, w)
+        b.exit()
+        launch = LaunchConfig(
+            grid=(blocks, 1),
+            block_threads=threads,
+            params={"idx": base_idx, "out": base_out, "data": base_data},
+        )
+        engine = SimulationEngine(b.build(), gmem=gmem)
+        assert engine.dependence.data_dependent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            engine.run(launch)
+
+    def test_spmv_disjoint_outputs_stay_silent(self):
+        # SpMV gathers x through cols but only ever stores y: loads and
+        # stores never overlap across blocks, so no warning fires.
+        matrix = random_blocked(block_rows=100, slots=3)
+        problem = prepare_spmv(matrix, "ell")
+        kernel = build_kernel_for(problem)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            SimulationEngine(kernel, gmem=problem.gmem).run(problem.launch())
+
+    def test_block_uniform_kernels_are_not_checked(self):
+        # Block-uniform kernels replicate one representative; their
+        # statistics are schedule-independent by construction even when
+        # footprints of replicated members would overlap on paper.
+        gmem = GlobalMemory()
+        kernel, params = _tail_guarded_kernel(gmem, 100)
+        launch = LaunchConfig(grid=(6, 1), block_threads=32, params=params)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            SimulationEngine(kernel, gmem=gmem).run(launch)
 
 
 class TestTraceCache:
