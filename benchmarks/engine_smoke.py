@@ -16,6 +16,15 @@ and the parallel path.  All three must agree bit-identically on cycles,
 and dedup + pool must be at least ``TIMING_MIN_SPEEDUP``x faster than
 the naive replay.
 
+A third gate covers the *functional interpreter*: the SpMV full grid
+(data-dependent, so the engine cannot deduplicate -- the pipeline's
+worst case) is traced through the per-warp reference oracle and through
+the batched interpreter (grid batching included).  Per-block traces
+must be bit-identical, the end-to-end hardware-model prediction must be
+bit-identical, and the batched path must be at least
+``FUNCTIONAL_MIN_SPEEDUP``x faster; both paths report their
+instructions/second.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_smoke.py --check
@@ -27,11 +36,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import sys
 import time
 from pathlib import Path
 
+from repro.apps import spmv
 from repro.apps.matmul import build_matmul_kernel, prepare_problem
+from repro.apps.matrices import random_blocked
 from repro.hw import HardwareGpu
 from repro.isa import Imm, KernelBuilder
 from repro.sim import GlobalMemory, LaunchConfig
@@ -58,6 +70,16 @@ TIMING_INNER = 48
 
 #: Acceptance floor for dedup+pool vs naive per-cluster timing replay.
 TIMING_MIN_SPEEDUP = 4.0
+
+#: Functional-gate workload: a data-dependent SpMV grid (96 blocks of
+#: 2 warps with the pipeline's launch: granularities (32, 16, 4) and
+#: recorded segments), traced in full.
+FUNCTIONAL_BLOCK_ROWS = 2048
+FUNCTIONAL_SLOTS = 6
+
+#: Acceptance floor for the batched interpreter vs the per-warp oracle
+#: on the SpMV full-grid trace.
+FUNCTIONAL_MIN_SPEEDUP = 3.0
 
 
 def run_once() -> dict:
@@ -163,6 +185,57 @@ def run_timing() -> dict:
     }
 
 
+def run_functional() -> dict:
+    """SpMV full-grid trace: batched interpreter vs per-warp oracle."""
+    matrix = random_blocked(
+        block_rows=FUNCTIONAL_BLOCK_ROWS, slots=FUNCTIONAL_SLOTS, seed=5
+    )
+
+    def fresh():
+        problem = spmv.prepare_problem(matrix, "ell")
+        return problem, spmv.build_kernel_for(problem)
+
+    problem, kernel = fresh()
+    launch = problem.launch()
+    blocks = launch.all_blocks()
+
+    oracle = FunctionalSimulator(kernel, gmem=fresh()[0].gmem, batched=False)
+    oracle_start = time.perf_counter()
+    reference = [oracle.run_block(launch, block) for block in blocks]
+    oracle_seconds = time.perf_counter() - oracle_start
+
+    batched_sim = FunctionalSimulator(kernel, gmem=fresh()[0].gmem, batched=True)
+    batched_start = time.perf_counter()
+    batched = batched_sim.run_blocks(launch, blocks)
+    batched_seconds = time.perf_counter() - batched_start
+
+    identical = all(
+        a == b and pickle.dumps(a) == pickle.dumps(b)
+        for a, b in zip(reference, batched)
+    )
+
+    # End-to-end prediction bit-identity: the timing layer must see the
+    # same measurement from either trace table.
+    resident = 4
+    ref_run = HardwareGpu().measure(reference, launch.num_blocks, resident)
+    bat_run = HardwareGpu().measure(batched, launch.num_blocks, resident)
+    identical = identical and ref_run == bat_run
+
+    instructions = sum(
+        stage.total_instructions for t in reference for stage in t.stages
+    )
+    return {
+        "blocks": len(blocks),
+        "instructions": instructions,
+        "oracle_seconds": oracle_seconds,
+        "batched_seconds": batched_seconds,
+        "oracle_ips": instructions / oracle_seconds,
+        "batched_ips": instructions / batched_seconds,
+        "speedup": oracle_seconds / batched_seconds,
+        "identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=True)
@@ -202,6 +275,29 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: timing speedup {timing['speedup']:.1f}x "
             f"< {TIMING_MIN_SPEEDUP}x"
+        )
+        return 1
+
+    functional = run_functional()
+    print(
+        f"functional spmv full grid ({functional['blocks']} blocks, "
+        f"{functional['instructions']} warp-instructions): "
+        f"oracle {functional['oracle_seconds']:.2f} s "
+        f"({functional['oracle_ips'] / 1e3:.0f}k instr/s), "
+        f"batched {functional['batched_seconds']:.2f} s "
+        f"({functional['batched_ips'] / 1e3:.0f}k instr/s), "
+        f"{functional['speedup']:.1f}x"
+    )
+    if not functional["identical"]:
+        print(
+            "FAIL: batched traces or model predictions differ from the "
+            "per-warp oracle"
+        )
+        return 1
+    if functional["speedup"] < FUNCTIONAL_MIN_SPEEDUP:
+        print(
+            f"FAIL: functional speedup {functional['speedup']:.1f}x "
+            f"< {FUNCTIONAL_MIN_SPEEDUP}x"
         )
         return 1
 

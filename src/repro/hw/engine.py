@@ -23,16 +23,22 @@ shared ``BlockWork`` objects).
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
 from dataclasses import replace
 
 from repro.arch.specs import GpuSpec
 from repro.hw.cluster import BlockWork, ClusterResult, simulate_cluster
 from repro.hw.config import HwConfig
 from repro.pool import map_tasks
+from repro.sim.trace import stream_digest
 from repro.util import VersionedPickleCache
+
+__all__ = [
+    "HW_CACHE_VERSION",
+    "MeasuredRunCache",
+    "simulate_clusters",
+    "stream_digest",
+]
 
 #: Bump when timing semantics or MeasuredRun's schema change: a stale
 #: memoized measurement must never masquerade as current silicon.
@@ -80,16 +86,9 @@ def simulate_clusters(
     )
 
 
-def stream_digest(warp_streams: BlockWork) -> str:
-    """Content hash of one block's warp streams.
-
-    This is the timing layer's class identity: two blocks with equal
-    digests replay identically, wherever their traces came from.  The
-    digest doubles as the class table entry in measured-run cache keys.
-    """
-    return hashlib.sha256(
-        pickle.dumps(warp_streams, protocol=pickle.HIGHEST_PROTOCOL)
-    ).hexdigest()
+# stream_digest now lives in repro.sim.trace (next to BlockTrace, which
+# memoizes it per trace); it is re-exported here because the timing
+# layer's callers and cache keys treat it as this module's API.
 
 
 class MeasuredRunCache(VersionedPickleCache):

@@ -33,7 +33,6 @@ from repro.hw.engine import (
     HW_CACHE_VERSION,
     MeasuredRunCache,
     simulate_clusters,
-    stream_digest,
 )
 from repro.sim.trace import BlockTrace
 from repro.util import spec_fingerprint
@@ -148,7 +147,7 @@ class HardwareGpu:
         num_clusters = self.spec.memory.num_clusters
         sms_per_cluster = self.spec.sms_per_cluster
         counts = self._block_counts(num_blocks, num_clusters, sms_per_cluster)
-        class_ids, class_digests = self._class_table(works)
+        class_ids, class_digests = self._class_table(traces)
 
         key = None
         if self.cache is not None and sim_clusters is None:
@@ -227,24 +226,28 @@ class HardwareGpu:
         return queues
 
     @staticmethod
-    def _class_table(works: list[BlockWork]) -> tuple[list[int], list[str]]:
+    def _class_table(traces: list[BlockTrace]) -> tuple[list[int], list[str]]:
         """Class IDs (dense ints) and content digests for a trace table.
 
-        Identity short-circuits the digest: the engine hands every
-        member of an equivalence class the same trace object, so a
-        class is digested once no matter how large the grid is.
-        Content-equal traces from *distinct* objects also unify, which
-        lets hand-built trace lists dedup too.
+        Digests are memoized on each :class:`BlockTrace`
+        (:meth:`~repro.sim.trace.BlockTrace.stream_digest`), so repeat
+        measurements over one trace table -- e.g. resident-block sweeps
+        against a large data-dependent grid -- stop re-hashing every
+        stream on every ``MeasuredRunCache`` lookup.  An identity
+        short-circuit additionally skips the memo's own validation for
+        the engine's replicated class members (every member shares one
+        trace object).  Content-equal traces from *distinct* objects
+        still unify, which lets hand-built trace lists dedup too.
         """
         digest_by_id: dict[int, str] = {}
         class_of_digest: dict[str, int] = {}
         class_ids: list[int] = []
         digests: list[str] = []
-        for work in works:
-            digest = digest_by_id.get(id(work))
+        for trace in traces:
+            digest = digest_by_id.get(id(trace))
             if digest is None:
-                digest = stream_digest(work)
-                digest_by_id[id(work)] = digest
+                digest = trace.stream_digest()
+                digest_by_id[id(trace)] = digest
             class_id = class_of_digest.get(digest)
             if class_id is None:
                 class_id = len(digests)

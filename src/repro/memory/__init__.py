@@ -4,9 +4,11 @@ from repro.memory.banks import (
     DEFAULT_BANKS,
     BankConfig,
     conflict_degree,
+    conflict_degree_batch,
     halfwarp_transactions,
     stride_conflict_degree,
     warp_transactions,
+    warp_transactions_batch,
 )
 from repro.memory.coalescing import (
     DEFAULT_CONFIG,
@@ -15,6 +17,8 @@ from repro.memory.coalescing import (
     bytes_transferred,
     coalesce_halfwarp,
     coalesce_warp,
+    coalesce_warp_batch,
+    coalesce_warp_multi,
     transaction_count,
 )
 from repro.memory.layout import (
@@ -35,7 +39,10 @@ __all__ = [
     "bytes_transferred",
     "coalesce_halfwarp",
     "coalesce_warp",
+    "coalesce_warp_batch",
+    "coalesce_warp_multi",
     "conflict_degree",
+    "conflict_degree_batch",
     "deinterleave",
     "halfwarp_transactions",
     "interleave",
@@ -46,4 +53,5 @@ __all__ = [
     "stride_conflict_degree",
     "transaction_count",
     "warp_transactions",
+    "warp_transactions_batch",
 ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.arch.specs import HALF_WARP
 from repro.errors import ModelError
 
@@ -73,14 +75,19 @@ def halfwarp_transactions(
 
 
 def warp_transactions(
-    addresses: Sequence[int],
-    active: Sequence[bool] | None = None,
+    addresses: "Sequence[int] | np.ndarray",
+    active: "Sequence[bool] | np.ndarray | None" = None,
     config: BankConfig = DEFAULT_BANKS,
-) -> tuple[int, int]:
+) -> "tuple[int, int] | tuple[np.ndarray, np.ndarray]":
     """(actual, conflict-free) transaction counts for a full warp.
 
     Each half-warp is serviced independently, as on GT200 hardware.
+    A 2-D ``(num_warps, warp_size)`` address array batches the analysis
+    over many warps at once; the result is then a pair of per-warp
+    count *arrays*, row ``w`` equal to the scalar call on row ``w``.
     """
+    if getattr(addresses, "ndim", 1) == 2:
+        return warp_transactions_batch(addresses, active, config)
     n = len(addresses)
     if active is None:
         active = [True] * n
@@ -96,6 +103,77 @@ def warp_transactions(
         actual += got
         ideal += want
     return actual, ideal
+
+
+def conflict_degree_batch(
+    addresses: np.ndarray,
+    active: np.ndarray | None = None,
+    config: BankConfig = DEFAULT_BANKS,
+) -> np.ndarray:
+    """Per-row serialization factors for a ``(rows, threads)`` batch.
+
+    Row ``r`` equals ``conflict_degree`` of row ``r``'s active
+    addresses: the maximum, over banks, of the distinct words requested
+    in that bank (zero when the row has no active thread).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    rows, _ = addresses.shape
+    if active is None:
+        active = np.ones(addresses.shape, dtype=bool)
+    else:
+        active = np.asarray(active, dtype=bool)
+    flat_active = active.ravel()
+    if not flat_active.any():
+        return np.zeros(rows, dtype=np.int64)
+    row_of = np.repeat(np.arange(rows, dtype=np.int64), addresses.shape[1])
+    row_ids = row_of[flat_active]
+    words = (addresses.ravel() // config.bank_width)[flat_active]
+    banks = words % config.num_banks
+    # Distinct (row, bank, word) triples, then the per-(row, bank)
+    # distinct-word counts, then the per-row maximum over banks.
+    order = np.lexsort((words, banks, row_ids))
+    r, b, w = row_ids[order], banks[order], words[order]
+    first = np.ones(len(r), dtype=bool)
+    first[1:] = (r[1:] != r[:-1]) | (b[1:] != b[:-1]) | (w[1:] != w[:-1])
+    slot = r[first] * config.num_banks + b[first]
+    counts = np.bincount(slot, minlength=rows * config.num_banks)
+    return counts.reshape(rows, config.num_banks).max(axis=1)
+
+
+def warp_transactions_batch(
+    addresses: np.ndarray,
+    active: np.ndarray | None = None,
+    config: BankConfig = DEFAULT_BANKS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-warp (actual, conflict-free) counts for a ``(W, 32)`` batch.
+
+    Vectorized sibling of :func:`warp_transactions`: each warp row is
+    split into independent half-warps and analysed in one pass over the
+    whole batch, so the functional simulator's block-wide interpreter
+    pays one NumPy dispatch instead of one Python call per warp.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    num_warps, warp_size = addresses.shape
+    if active is None:
+        active = np.ones(addresses.shape, dtype=bool)
+    else:
+        active = np.asarray(active, dtype=bool)
+    halves = -(-warp_size // config.halfwarp)
+    # Pad the lane axis so every half-warp group is full-width, then
+    # fold (warp, half) into the batch row axis.
+    padded = halves * config.halfwarp
+    if padded != warp_size:
+        pad = ((0, 0), (0, padded - warp_size))
+        addresses = np.pad(addresses, pad)
+        active = np.pad(active, pad)
+    grouped_addresses = addresses.reshape(num_warps * halves, config.halfwarp)
+    grouped_active = active.reshape(num_warps * halves, config.halfwarp)
+    actual = conflict_degree_batch(grouped_addresses, grouped_active, config)
+    ideal = grouped_active.any(axis=1).astype(np.int64)
+    return (
+        actual.reshape(num_warps, halves).sum(axis=1),
+        ideal.reshape(num_warps, halves).sum(axis=1),
+    )
 
 
 def stride_conflict_degree(

@@ -31,6 +31,7 @@ from repro.sim.trace import (
     TYPE_NAMES,
     aggregate_blocks,
     aggregate_weighted,
+    stream_digest,
 )
 
 __all__ = [
@@ -63,4 +64,5 @@ __all__ = [
     "partition_blocks",
     "run_full",
     "run_representative",
+    "stream_digest",
 ]

@@ -47,7 +47,7 @@ from repro.errors import LaunchError
 from repro.isa.instructions import MemRef, Pred, Reg, Special
 from repro.isa.opcodes import OpKind
 from repro.isa.program import Kernel
-from repro.pool import map_tasks
+from repro.pool import map_tasks, start_method
 from repro.sim.functional import FunctionalSimulator, LaunchConfig
 from repro.sim.memory import GlobalMemory
 from repro.util import VersionedPickleCache, spec_fingerprint
@@ -60,7 +60,10 @@ from repro.sim.trace import (
 
 #: Bump when trace or aggregation semantics change: invalidates caches.
 #: v2: BlockTrace carries global load/store footprints (RAW check).
-ENGINE_CACHE_VERSION = 2
+#: v3: footprints are bounded interval lists (not single hulls), and
+#: barrier-free grids run through the multi-block batched interpreter
+#: (cross-block write visibility changed for racy kernels).
+ENGINE_CACHE_VERSION = 3
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -467,20 +470,27 @@ def find_cross_block_raw(
 _WORKER_STATE: tuple[FunctionalSimulator, LaunchConfig] | None = None
 
 
-def _init_worker(kernel, gmem, spec, max_warp_instructions, launch) -> None:
+def _init_worker(
+    kernel, gmem, spec, max_warp_instructions, launch, batched
+) -> None:
     global _WORKER_STATE
+    if isinstance(gmem, dict):
+        # Shared-memory arena descriptor (see GlobalMemory.share):
+        # attach, copy into private worker memory, verify the digest.
+        gmem = GlobalMemory.from_shared(gmem)
     simulator = FunctionalSimulator(
         kernel,
         gmem=gmem,
         spec=spec,
         max_warp_instructions=max_warp_instructions,
+        batched=batched,
     )
     _WORKER_STATE = (simulator, launch)
 
 
-def _run_block_task(block: tuple[int, int]) -> BlockTrace:
+def _run_chunk_task(chunk: list[tuple[int, int]]) -> list[BlockTrace]:
     simulator, launch = _WORKER_STATE
-    return simulator.run_block(launch, block)
+    return simulator.run_blocks(launch, chunk)
 
 
 # ----------------------------------------------------------------------
@@ -500,6 +510,10 @@ class SimulationEngine:
     cache_dir:
         Directory for the on-disk :class:`KernelTrace` memo cache;
         ``None`` disables memoization.
+    batched:
+        Use the block-wide batched interpreter (default).  ``False``
+        selects the per-warp reference oracle -- bit-identical traces,
+        kept for differential benchmarks and tests.
     """
 
     def __init__(
@@ -510,17 +524,20 @@ class SimulationEngine:
         workers: int = 0,
         cache_dir: str | os.PathLike | None = None,
         max_warp_instructions: int = 50_000_000,
+        batched: bool = True,
     ) -> None:
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
         self.spec = spec
         self.workers = max(0, int(workers))
         self.max_warp_instructions = max_warp_instructions
+        self.batched = batched
         self.simulator = FunctionalSimulator(
             kernel,
             gmem=self.gmem,
             spec=spec,
             max_warp_instructions=max_warp_instructions,
+            batched=batched,
         )
         self.dependence = analyze_dependence(kernel)
         self.cache = TraceCache(cache_dir) if cache_dir is not None else None
@@ -707,24 +724,58 @@ class SimulationEngine:
     ) -> list[BlockTrace]:
         """Simulate blocks, preserving order; parallel when configured.
 
-        Pool policy (fork on Linux only, serial fallback, deterministic
-        order) lives in :mod:`repro.pool`, shared with the hardware
-        timing layer.
+        Blocks are fanned out in grid-batch-sized chunks so every
+        worker (and the serial path) rides the multi-block batched
+        interpreter for barrier-free kernels.  Pool policy (fork on
+        Linux only, serial fallback, deterministic order) lives in
+        :mod:`repro.pool`, shared with the hardware timing layer.
         """
-        return map_tasks(
-            blocks,
-            self.workers,
-            serial_fn=lambda block: self.simulator.run_block(launch, block),
-            worker_fn=_run_block_task,
-            initializer=_init_worker,
-            initargs=(
-                self.kernel,
-                self.gmem,
-                self.spec,
-                self.max_warp_instructions,
-                launch,
-            ),
+        if self.workers <= 1 or len(blocks) <= 1:
+            return self.simulator.run_blocks(launch, blocks)
+        step = max(1, int(self.simulator.grid_batch_blocks))
+        chunks = [blocks[i : i + step] for i in range(0, len(blocks), step)]
+        # Ship the arena through multiprocessing.shared_memory instead
+        # of re-pickling it per fan-out; workers copy it into private
+        # memory and verify the pre-launch content digest.  Fork pools
+        # inherit the parent's arena copy-on-write, so only spawn-style
+        # pools (which would otherwise pickle it per worker) use the
+        # segment; platforms without shared memory fall back to
+        # pickling the arena.
+        shared = (
+            self.gmem.share()
+            if len(chunks) > 1 and start_method() != "fork"
+            else None
         )
+        if shared is not None:
+            gmem_arg, segment = shared
+        else:
+            gmem_arg, segment = self.gmem, None
+        try:
+            results = map_tasks(
+                chunks,
+                self.workers,
+                serial_fn=lambda chunk: self.simulator.run_blocks(
+                    launch, chunk
+                ),
+                worker_fn=_run_chunk_task,
+                initializer=_init_worker,
+                initargs=(
+                    self.kernel,
+                    gmem_arg,
+                    self.spec,
+                    self.max_warp_instructions,
+                    launch,
+                    self.batched,
+                ),
+            )
+        finally:
+            if segment is not None:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        return [trace for chunk_traces in results for trace in chunk_traces]
 
     def _warn_cross_block_raw(self, traces: list[BlockTrace]) -> None:
         """Warn when simulated blocks read ranges other blocks wrote.
@@ -784,4 +835,10 @@ class SimulationEngine:
         # share its copy); never share entries across widths, and fold
         # the serial cases (workers 0 and 1 run identically in-process).
         h.update(f"workers={self.workers if self.workers > 1 else 0}".encode())
+        if not self.batched:
+            # Batched and per-warp traces are bit-identical for
+            # well-synchronized kernels; the oracle is keyed separately
+            # so differential benchmarks never serve each other's
+            # entries for racy ones.
+            h.update(b"interp=warp;")
         return h.hexdigest()

@@ -17,22 +17,56 @@ Execution model:
 * every executed warp-instruction appends a compact event (with its
   register-dependence distance) to the warp's stream so the hardware
   timing simulator can replay it.
+
+Two interpreters implement that model:
+
+* the **block-wide batched interpreter** (default): each step, all
+  non-exited, non-barrier warps whose min-PC lands on the same
+  instruction execute it *once* over a ``(k_warps, 32)`` slab of the
+  block's register file, with vectorized coalescing and bank analysis
+  (:func:`repro.memory.coalescing.coalesce_warp_batch`,
+  :func:`repro.memory.banks.warp_transactions_batch`).  Convergent
+  kernels collapse to one NumPy dispatch per dynamic instruction;
+  divergent warps simply form smaller PC-groups, so min-PC semantics
+  are unchanged;
+* the original **per-warp interpreter** (``batched=False``), kept as
+  the reference oracle: differential tests assert the two produce
+  bit-identical :class:`BlockTrace`\\ s.
+
+Per-warp semantics are purely local, so batching is only a schedule
+change: it is observable solely to kernels with *unsynchronized*
+cross-warp memory traffic inside one stage (racy in the CUDA model;
+barrier-synchronized communication behaves identically in both modes).
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.arch.specs import WARP_SIZE, GpuSpec, GTX285
-from repro.errors import DivergenceError, LaunchError, SimulationError
+from repro.errors import (
+    DivergenceError,
+    LaunchError,
+    MemoryAccessError,
+    SimulationError,
+)
 from repro.isa.instructions import Imm, MemRef, Pred, Reg, Special
 from repro.isa.opcodes import Opcode, OpKind
 from repro.isa.program import Kernel
 from repro.isa.validate import validate_kernel
-from repro.memory.banks import BankConfig, warp_transactions
-from repro.memory.coalescing import TransactionConfig, coalesce_warp
+from repro.memory.banks import (
+    BankConfig,
+    warp_transactions,
+    warp_transactions_batch,
+)
+from repro.memory.coalescing import (
+    TransactionConfig,
+    coalesce_warp,
+    coalesce_warp_multi,
+)
 from repro.sim.memory import GlobalMemory, SharedMemory
 from repro.sim.trace import (
     EV_ARITH,
@@ -187,6 +221,77 @@ _CMP_FUNCS = {
 }
 
 
+class _IntervalList:
+    """Bounded list of disjoint, sorted ``[lo, hi)`` byte intervals.
+
+    Tracks a block's global-memory footprint within one allocation.
+    Overlapping or *adjacent* intervals merge on insertion, so the list
+    holds the canonical union of everything added -- a pure function of
+    the *set* of inserted hulls, independent of insertion order (which
+    is what keeps the batched interpreter's instruction-major insertion
+    bit-identical to the per-warp oracle's warp-major one).  The final
+    :meth:`capped` view widens smallest-gap pairs down to ``cap``
+    intervals; mid-run memory is bounded by ``watermark``, beyond which
+    the same widening runs eagerly (only then can insertion order show
+    through -- far past anything the bundled kernels produce).
+    Compared to the previous single ``[lo, hi)`` hull, kernels that
+    stride within one shared allocation keep their slices distinct,
+    removing cross-block RAW false positives.
+    """
+
+    __slots__ = ("spans", "cap", "watermark")
+
+    def __init__(self, cap: int = 8, watermark: int = 64) -> None:
+        self.spans: list[tuple[int, int]] = []
+        self.cap = cap
+        self.watermark = watermark
+
+    def add(self, lo: int, hi: int) -> None:
+        spans = self.spans
+        n = len(spans)
+        if n:
+            # Dominant cases first: growing/contained in the hull that
+            # an earlier access of the same pattern created.
+            index = bisect.bisect_right(spans, (lo, hi))
+            if index and spans[index - 1][1] >= hi:
+                return  # fully contained in the span left of the cut
+            # Find the run [first, stop) of spans overlapping/touching.
+            first = index
+            if index and spans[index - 1][1] >= lo:
+                first = index - 1
+            stop = index
+            while stop < n and spans[stop][0] <= hi:
+                stop += 1
+            if first == stop:  # disjoint: plain insertion
+                spans.insert(index, (lo, hi))
+            else:
+                merged = (
+                    min(lo, spans[first][0]),
+                    max(hi, spans[stop - 1][1]),
+                )
+                spans[first:stop] = [merged]
+        else:
+            spans.append((lo, hi))
+        if len(spans) > self.watermark:
+            _widen_to(spans, self.cap)
+
+    def capped(self) -> list[tuple[int, int]]:
+        """The final bounded spans (deterministic given the union)."""
+        if len(self.spans) <= self.cap:
+            return self.spans
+        out = list(self.spans)
+        _widen_to(out, self.cap)
+        return out
+
+
+def _widen_to(spans: list[tuple[int, int]], cap: int) -> None:
+    """Merge smallest-gap neighbours in place until ``cap`` intervals."""
+    while len(spans) > cap:
+        gaps = [spans[i + 1][0] - spans[i][1] for i in range(len(spans) - 1)]
+        i = gaps.index(min(gaps))
+        spans[i : i + 2] = [(spans[i][0], spans[i + 1][1])]
+
+
 class _BlockRun:
     """All mutable state of one block's execution.
 
@@ -250,8 +355,21 @@ class _BlockRun:
         self.stages = [StageStats()]
         self.stage = self.stages[0]
         self.stage_warps: set[int] = set()
-        self.load_ranges: dict[str, list[int]] = {}
-        self.store_ranges: dict[str, list[int]] = {}
+        self.load_ranges: dict[str, _IntervalList] = {}
+        self.store_ranges: dict[str, _IntervalList] = {}
+
+    #: Single blocks use their own SharedMemory directly (no arena
+    #: translation); the multi-block _GridRun overrides this.
+    smem_offsets = None
+
+    def slots(self) -> list:
+        return [self]
+
+    def streams(self) -> list[list]:
+        return [warp.stream for warp in self.warps]
+
+    def exited_rows(self) -> np.ndarray:
+        return np.stack([warp.exited for warp in self.warps])
 
     def next_stage(self) -> None:
         self.stage.active_warps = len(self.stage_warps)
@@ -259,25 +377,20 @@ class _BlockRun:
         self.stage = StageStats()
         self.stages.append(self.stage)
 
-    def track_global(self, array: str, addresses, is_load: bool) -> None:
-        """Widen the block's load/store footprint, per allocation.
+    def track_global(self, array: str, lo: int, hi: int, is_load: bool) -> None:
+        """Grow the block's load/store footprint, per allocation.
 
-        One hull per accessed allocation keeps the engine's cross-block
-        RAW check free of cross-allocation false positives: a store-only
-        output laid out between two load-only inputs must not appear
-        inside the load hull.
+        Per-allocation bookkeeping keeps the engine's cross-block RAW
+        check free of cross-allocation false positives; a bounded
+        interval list per allocation (instead of one ``[lo, hi)`` hull)
+        additionally keeps *strided* slices within one allocation
+        distinct (see :class:`_IntervalList`).
         """
-        lo = int(addresses.min())
-        hi = int(addresses.max()) + 4
         ranges = self.load_ranges if is_load else self.store_ranges
-        span = ranges.get(array)
-        if span is None:
-            ranges[array] = [lo, hi]
-        else:
-            if lo < span[0]:
-                span[0] = lo
-            if hi > span[1]:
-                span[1] = hi
+        intervals = ranges.get(array)
+        if intervals is None:
+            intervals = ranges[array] = _IntervalList()
+        intervals.add(lo, hi)
 
     def finish(self) -> BlockTrace:
         self.stage.active_warps = len(self.stage_warps)
@@ -287,12 +400,158 @@ class _BlockRun:
             stages=self.stages,
             warp_streams=streams,
             global_load_ranges=tuple(
-                (lo, hi) for lo, hi in self.load_ranges.values()
+                span
+                for intervals in self.load_ranges.values()
+                for span in intervals.capped()
             ),
             global_store_ranges=tuple(
-                (lo, hi) for lo, hi in self.store_ranges.values()
+                span
+                for intervals in self.store_ranges.values()
+                for span in intervals.capped()
             ),
         )
+
+
+class _BlockSlot:
+    """Per-block bookkeeping inside a multi-block batched run.
+
+    The interpreter's statistics hooks see the same attribute surface
+    as :class:`_BlockRun` (stage, stage_warps, footprint intervals), so
+    single-block and grid runs share one accounting code path.
+    """
+
+    __slots__ = (
+        "block",
+        "stages",
+        "stage",
+        "stage_warps",
+        "load_ranges",
+        "store_ranges",
+    )
+
+    track_global = _BlockRun.track_global
+
+    def __init__(self, block: tuple[int, int]) -> None:
+        self.block = block
+        self.stages = [StageStats()]
+        self.stage = self.stages[0]
+        self.stage_warps: set[int] = set()
+        self.load_ranges: dict[str, _IntervalList] = {}
+        self.store_ranges: dict[str, _IntervalList] = {}
+
+
+class _GridRun:
+    """Stacked execution state for a *batch* of independent blocks.
+
+    Barrier-free kernels (the engine's data-dependent worst case, e.g.
+    SpMV) have no cross-warp coupling inside a block, so whole batches
+    of blocks can ride the batched interpreter as extra warp rows: the
+    register/predicate files stack to ``(B * warps_per_block * 32,
+    regs)``, shared memory becomes one arena of bank-aligned per-block
+    slices, and block-varying specials (``ctaid``) become per-row
+    columns.  Per-block statistics, warp streams and footprints are
+    routed to :class:`_BlockSlot` entries, so the resulting
+    :class:`BlockTrace` objects are bit-identical to running each block
+    alone.
+
+    Lockstep execution interleaves blocks, so *cross-block* global
+    read-after-write visibility differs from the serial block loop --
+    exactly the hazard class the engine's RAW check already reports for
+    data-dependent kernels (racy kernels have no defined trace order in
+    the CUDA model either way).
+    """
+
+    __slots__ = (
+        "R",
+        "P",
+        "smem",
+        "smem_offsets",
+        "smem_bytes",
+        "launch",
+        "block_slots",
+        "specials",
+        "_exited",
+    )
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]],
+    ) -> None:
+        gx, gy = launch.grid
+        threads = launch.block_threads
+        num_warps = launch.warps_per_block
+        num_blocks = len(blocks)
+        rows = num_blocks * num_warps
+        padded = rows * WARP_SIZE
+
+        self.R = np.zeros((padded, max(kernel.num_registers, 1)), dtype=np.float64)
+        self.P = np.zeros((padded, max(kernel.num_predicates, 1)), dtype=bool)
+        for name in kernel.params:
+            if name not in launch.params:
+                raise LaunchError(f"missing launch parameter {name!r}")
+            self.R[:, kernel.param_regs[name]] = float(launch.params[name])
+
+        # One bank-aligned shared-memory slice per block: the 64-byte
+        # stride keeps every block's bank/word pattern identical to a
+        # standalone arena, so conflict counts are unchanged.
+        words = kernel.shared_memory_words
+        bank_words = 16  # 16 banks x 4-byte words = one 64B bank period
+        pad_words = -(-max(words, 1) // bank_words) * bank_words
+        self.smem = SharedMemory(pad_words * num_blocks)
+        self.smem_bytes = words * 4
+        block_of_row = np.repeat(np.arange(num_blocks, dtype=np.int64), num_warps)
+        self.smem_offsets = (block_of_row * (pad_words * 4))[:, None]
+
+        self.launch = launch
+        self.block_slots = [_BlockSlot(block) for block in blocks]
+        bx = np.asarray([b[0] for b in blocks], dtype=np.float64)
+        by = np.asarray([b[1] for b in blocks], dtype=np.float64)
+        self.specials = {
+            "ntid": float(threads),
+            "ctaid_x": np.repeat(bx, num_warps),
+            "ctaid_y": np.repeat(by, num_warps),
+            "nctaid_x": float(gx),
+            "nctaid_y": float(gy),
+        }
+        lane_ids = np.arange(WARP_SIZE, dtype=np.int64)
+        local = (np.arange(rows, dtype=np.int64) % num_warps)[:, None]
+        self._exited = (local * WARP_SIZE + lane_ids) >= threads
+
+    def slots(self) -> list:
+        return self.block_slots
+
+    def streams(self) -> list[list]:
+        return [[] for _ in range(len(self.block_slots) * self.launch.warps_per_block)]
+
+    def exited_rows(self) -> np.ndarray:
+        return self._exited
+
+    def finish(self, streams: list[list]) -> list[BlockTrace]:
+        """Per-block traces, bit-identical to standalone block runs."""
+        wpb = self.launch.warps_per_block
+        traces = []
+        for index, slot in enumerate(self.block_slots):
+            slot.stage.active_warps = len(slot.stage_warps)
+            traces.append(
+                BlockTrace(
+                    block=slot.block,
+                    stages=slot.stages,
+                    warp_streams=streams[index * wpb : (index + 1) * wpb],
+                    global_load_ranges=tuple(
+                        span
+                        for intervals in slot.load_ranges.values()
+                        for span in intervals.capped()
+                    ),
+                    global_store_ranges=tuple(
+                        span
+                        for intervals in slot.store_ranges.values()
+                        for span in intervals.capped()
+                    ),
+                )
+            )
+        return traces
 
 
 class FunctionalSimulator:
@@ -308,6 +567,11 @@ class FunctionalSimulator:
         Architecture parameters (bank count, warp size assumptions).
     max_warp_instructions:
         Safety valve against runaway loops.
+    batched:
+        Use the block-wide batched interpreter (default).  ``False``
+        selects the original per-warp loop, kept as the reference
+        oracle for differential testing; both produce bit-identical
+        :class:`BlockTrace` results for barrier-synchronized kernels.
     """
 
     def __init__(
@@ -316,20 +580,42 @@ class FunctionalSimulator:
         gmem: GlobalMemory | None = None,
         spec: GpuSpec = GTX285,
         max_warp_instructions: int = 50_000_000,
+        batched: bool = True,
     ) -> None:
         validate_kernel(kernel)
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
         self.spec = spec
         self.max_warp_instructions = max_warp_instructions
+        self.batched = batched
         self._decoded = [
             _Decoded(instr, kernel.labels) for instr in kernel.instructions
         ]
+        self._has_barrier = any(
+            d.kind == OpKind.BARRIER for d in self._decoded
+        )
         self._bank_config = BankConfig(
             num_banks=spec.sm.shared_memory_banks,
             bank_width=spec.sm.bank_width_bytes,
         )
         self._lane_ids = np.arange(WARP_SIZE, dtype=np.int64)
+        self._txn_configs: dict[int, TransactionConfig] = {}
+        for granularity in (4, 8, 16, 32, 64, 128):
+            self._txn_config(granularity)
+
+    def _txn_config(self, granularity: int) -> TransactionConfig:
+        """Memoized coalescing config for one granularity.
+
+        Granularity 4 is the paper's "ideal" case: each distinct word
+        is its own transaction (Fig. 11a).
+        """
+        config = self._txn_configs.get(granularity)
+        if config is None:
+            config = self._txn_configs[granularity] = TransactionConfig(
+                min_segment=granularity,
+                max_segment=4 if granularity == 4 else 128,
+            )
+        return config
 
     # ------------------------------------------------------------------
     # public API
@@ -348,8 +634,50 @@ class FunctionalSimulator:
         chosen = blocks if blocks is not None else launch.all_blocks()
         if not chosen:
             raise LaunchError("no blocks selected")
-        traces = [self.run_block(launch, block) for block in chosen]
+        traces = self.run_blocks(launch, chosen)
         return aggregate_blocks(traces, scale_to_blocks=launch.num_blocks)
+
+    #: Blocks per grid batch: large enough to amortize per-instruction
+    #: NumPy dispatch, small enough that per-block Python accounting
+    #: stays a minority cost.
+    grid_batch_blocks = 32
+
+    def run_blocks(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]],
+    ) -> list[BlockTrace]:
+        """Simulate many blocks, in order.
+
+        With the batched interpreter and a barrier-free kernel, blocks
+        are executed in grid batches of :attr:`grid_batch_blocks` --
+        every block's warps ride the same PC-grouped NumPy dispatches
+        (see :class:`_GridRun`) -- which is what makes full-grid traces
+        of data-dependent kernels (the paper's SpMV) cheap.  Kernels
+        with barriers, or the per-warp oracle, run block by block.
+        """
+        self._check_launch(launch)
+        if not (self.batched and not self._has_barrier and len(blocks) > 1):
+            return [self.run_block(launch, block) for block in blocks]
+        traces: list[BlockTrace] = []
+        step = max(1, int(self.grid_batch_blocks))
+        for start in range(0, len(blocks), step):
+            chunk = blocks[start : start + step]
+            if len(chunk) == 1:
+                traces.append(self.run_block(launch, chunk[0]))
+                continue
+            for block in chunk:
+                bx, by = block
+                gx, gy = launch.grid
+                if not (0 <= bx < gx and 0 <= by < gy):
+                    raise LaunchError(
+                        f"block {block} outside grid {launch.grid}"
+                    )
+            run = _GridRun(self.kernel, launch, chunk)
+            interpreter = _BatchedInterpreter(self, run)
+            interpreter.execute()
+            traces.extend(run.finish(interpreter.streams))
+        return traces
 
     def run_block(
         self, launch: LaunchConfig, block: tuple[int, int]
@@ -372,6 +700,9 @@ class FunctionalSimulator:
             raise LaunchError(f"block {block} outside grid {launch.grid}")
 
         run = _BlockRun(self.kernel, launch, (bx, by))
+        if self.batched:
+            _BatchedInterpreter(self, run).execute()
+            return run.finish(), run
         while True:
             for warp in run.warps:
                 if not warp.done and not warp.at_barrier:
@@ -634,18 +965,16 @@ class FunctionalSimulator:
                 store_vals, _ = self._fetch(run, warp, decoded.srcs[0], active)
                 self.gmem.write(addresses[active], store_vals[active])
 
-            first_address = int(addresses[active][0])
+            chosen = addresses[active]
+            first_address = int(chosen[0])
             allocation = self.gmem.allocation_at(first_address)
             array_name = allocation.name if allocation else "?"
-            run.track_global(array_name, addresses[active], is_load)
+            run.track_global(
+                array_name, int(chosen.min()), int(chosen.max()) + 4, is_load
+            )
             cacheable = self.gmem.is_cacheable(first_address)
             for position, granularity in enumerate(run.launch.granularities):
-                # Granularity 4 is the paper's "ideal" case: each
-                # distinct word is its own transaction (Fig. 11a).
-                config = TransactionConfig(
-                    min_segment=granularity,
-                    max_segment=4 if granularity == 4 else 128,
-                )
+                config = self._txn_config(granularity)
                 transactions = coalesce_warp(addresses, active, 4, config)
                 count = len(transactions)
                 nbytes = sum(t.size for t in transactions)
@@ -691,7 +1020,9 @@ class FunctionalSimulator:
             candidate = warp.pred_producer[pred]
             if candidate > producer:
                 producer = candidate
-        dep = event_index - producer if producer >= 0 else 0
+        # Plain-int dep keeps warp streams byte-identical (pickled
+        # digests included) across the per-warp and batched interpreters.
+        dep = int(event_index - producer) if producer >= 0 else 0
         warp.stream.append((kind, dep, a, b, payload))
         for reg in decoded.writes:
             warp.reg_producer[reg] = event_index
@@ -699,67 +1030,809 @@ class FunctionalSimulator:
             warp.pred_producer[decoded.dst_pred] = event_index
 
 
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Lane index where the second half-warp starts (GT200 half-warp width).
+HALF_WARP_SPLIT = 16
+
+
+class _BatchedInterpreter:
+    """Batched execution of one :class:`_BlockRun` or :class:`_GridRun`.
+
+    Each step groups all runnable warps (not exited, not parked at a
+    barrier) by the instruction their min-PC lands on and executes every
+    group's instruction *once* over the run's full ``(rows, 32)``
+    register slab, with per-warp group membership folded into the active
+    mask.  Working full-width keeps every register access a basic-slice
+    *view* (no gather/scatter copies); warps outside the group see only
+    masked-out lanes, so they are never observably touched.  Per-warp
+    state that the per-warp oracle keeps in :class:`_WarpState` lives
+    here in stacked arrays: PCs and exit masks as ``(rows, 32)``,
+    dependence producers as ``(rows, num_regs)``, issue counters and
+    stream lengths as ``(rows,)``.  Warp streams are appended per warp
+    (they are Python lists the timing simulator replays), but
+    everything else -- arithmetic, predicate evaluation, shared/global
+    traffic, coalescing and bank analysis, dependence distances -- is
+    one NumPy dispatch per dynamic instruction per PC-group.
+
+    A :class:`_GridRun` stacks whole batches of barrier-free blocks as
+    extra warp rows (statistics route to per-block slots); a single
+    block is simply the ``num_slots == 1`` case of the same machinery.
+
+    Warp semantics are purely warp-local, so the produced
+    :class:`BlockTrace` is bit-identical to the per-warp oracle's for
+    every kernel whose cross-warp communication is barrier-synchronized
+    (unsynchronized intra-stage races are schedule-dependent in either
+    interpreter).
+    """
+
+    __slots__ = (
+        "sim",
+        "launch",
+        "slots",
+        "num_slots",
+        "wpb",
+        "smem",
+        "smem_offsets",
+        "specials",
+        "decoded",
+        "streams",
+        "num_warps",
+        "PC",
+        "alive",
+        "at_bar",
+        "bar_pending",
+        "issued",
+        "stream_lens",
+        "reg_producer",
+        "pred_producer",
+        "R3",
+        "P3",
+        "tid_values",
+        "warp_range",
+        "all_warps",
+        "_unmarked",
+        "_operand_cache",
+        "_alloc_cache",
+        "_gran_configs",
+        "_totals_tail",
+    )
+
+    def __init__(self, sim: FunctionalSimulator, run) -> None:
+        self.sim = sim
+        self.launch = run.launch
+        self.slots = run.slots()
+        self.num_slots = len(self.slots)
+        self.wpb = run.launch.warps_per_block
+        self.smem = run.smem
+        self.smem_offsets = run.smem_offsets
+        self.specials = run.specials
+        self.decoded = sim._decoded
+        num_warps = self.num_slots * self.wpb
+        self.num_warps = num_warps
+        self.streams = run.streams()
+        exited = run.exited_rows()
+        self.alive = ~exited
+        # Invariant: exited lanes sit at PC = _INT64_MAX, so per-warp
+        # min-PCs and "fully exited" fall out of one row minimum and no
+        # separate exit mask is consulted on the hot path.
+        self.PC = np.where(exited, _INT64_MAX, 0)
+        self.at_bar = np.zeros(num_warps, dtype=bool)
+        self.bar_pending = False
+        self.issued = np.zeros(num_warps, dtype=np.int64)
+        self.stream_lens = np.zeros(num_warps, dtype=np.int64)
+        self.reg_producer = np.full(
+            (num_warps, max(sim.kernel.num_registers, 1)), -1, dtype=np.int64
+        )
+        self.P3 = run.P.reshape(num_warps, WARP_SIZE, run.P.shape[1])
+        self.R3 = run.R.reshape(num_warps, WARP_SIZE, run.R.shape[1])
+        self.pred_producer = np.full(
+            (num_warps, max(sim.kernel.num_predicates, 1)), -1, dtype=np.int64
+        )
+        self.warp_range = np.arange(num_warps)
+        self.all_warps = list(range(num_warps))
+        self.tid_values = (
+            (self.warp_range % self.wpb)[:, None] * WARP_SIZE + sim._lane_ids
+        ).astype(np.float64)
+        # Rows whose warp has not yet done "real work" in the current
+        # stage (multi-block accounting amortizes marking through this).
+        self._unmarked = set(self.all_warps)
+        # Immediates and launch-uniform specials never change during a
+        # run and are only ever read, so their slabs are shared; global
+        # allocation lookups are memoized per static instruction.
+        self._operand_cache: dict[tuple, np.ndarray] = {}
+        self._alloc_cache: dict[int, object] = {}
+        granularities = run.launch.granularities
+        self._gran_configs = [sim._txn_config(g) for g in granularities]
+        self._totals_tail = range(1, len(granularities))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def execute(self) -> None:
+        num_instructions = len(self.decoded)
+        budget = self.sim.max_warp_instructions
+        steps = 0
+        with np.errstate(all="ignore"):
+            while True:
+                minpc = self.PC.min(axis=1)
+                if self.bar_pending:
+                    minpc = np.where(self.at_bar, _INT64_MAX, minpc)
+                top = int(minpc.min())
+                if top >= num_instructions:
+                    if top < _INT64_MAX:
+                        raise SimulationError(
+                            "execution ran past the end of the kernel"
+                        )
+                    if not self.bar_pending:
+                        return
+                    self.at_bar[:] = False
+                    self.bar_pending = False
+                    self.slots[0].next_stage()
+                    self._unmarked = set(self.all_warps)
+                    continue
+                runnable = minpc != _INT64_MAX
+                self.issued += runnable
+                # A warp's issue count never exceeds the step count, so
+                # the exact (per-warp) budget check only needs to run
+                # once steps could have pushed some warp past it.
+                steps += 1
+                if steps > budget and int(self.issued.max()) > budget:
+                    raise SimulationError(
+                        "warp exceeded the instruction budget (runaway loop?)"
+                    )
+                # Groups are computed once per step; executing one group
+                # never changes another group's PCs or masks, so the
+                # partition stays valid for the whole step.
+                group = minpc == top
+                if bool(group.all()):
+                    # Convergent fast path: every warp in one group.
+                    self._step(group, self.all_warps, top)
+                elif bool((group == runnable).all()):
+                    # Single group, but some warps are blocked.
+                    self._step(group, np.flatnonzero(group).tolist(), top)
+                else:
+                    for pc in np.unique(minpc[runnable]):
+                        sub = minpc == pc
+                        self._step(sub, np.flatnonzero(sub).tolist(), int(pc))
+
+    def _step(self, group: np.ndarray, ws: list, pc: int) -> None:
+        """Execute instruction ``pc`` once for the warps in ``group``.
+
+        ``ws`` lists the group's warp indices (``all_warps`` on the
+        convergent fast path, so no index extraction is paid there).
+        Exited lanes never match ``PC == pc`` (they sit at the sentinel
+        PC), so the lane mask needs no separate liveness term.
+        """
+        decoded = self.decoded[pc]
+        mask = self.PC == pc
+        if ws is not self.all_warps:
+            mask = group[:, None] & mask
+
+        kind = decoded.kind
+        if kind == OpKind.EXIT:
+            # exit occupies an issue slot like any other control
+            # instruction (see the per-warp oracle).
+            self._record_issue(decoded, ws)
+            self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
+            self.PC = np.where(mask, _INT64_MAX, self.PC)
+            self.alive = self.alive & ~mask
+            return
+        if kind == OpKind.BARRIER:
+            if self.num_slots > 1:  # pragma: no cover - guarded by caller
+                raise SimulationError(
+                    "barrier inside a multi-block batch (internal error)"
+                )
+            divergent = group & (mask != self.alive).any(axis=1)
+            if divergent.any():
+                warp = int(np.flatnonzero(divergent)[0])
+                raise DivergenceError(
+                    "bar.sync reached by a divergent warp "
+                    f"(warp {warp}, pc {pc})"
+                )
+            self._record_issue(decoded, ws)
+            for w in ws:
+                self.streams[w].append((EV_BAR, 0, 0, 0, None))
+            self.stream_lens += group
+            self.PC = np.where(mask, pc + 1, self.PC)
+            self.at_bar |= group
+            self.bar_pending = True
+            return
+
+        active = mask
+        if decoded.guard is not None:
+            pidx, want = decoded.guard
+            if want:
+                active = mask & self.P3[:, :, pidx]
+            else:
+                active = mask & ~self.P3[:, :, pidx]
+
+        if kind == OpKind.BRANCH:
+            self._record_issue(decoded, ws)
+            self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
+            self.PC = np.where(mask, pc + 1, self.PC)
+            self.PC = np.where(active, decoded.target, self.PC)
+            return
+
+        self._execute(ws, decoded, active)
+        self.PC = np.where(mask, pc + 1, self.PC)
+
+    # ------------------------------------------------------------------
+    # instruction execution
+    # ------------------------------------------------------------------
+    def _execute(self, ws, decoded, active) -> None:
+        self._record_issue(decoded, ws)
+        kind = decoded.kind
+        # A warp counts as *active* in a stage once it does real work
+        # (same rule as the per-warp oracle).
+        if kind not in (OpKind.SETP, OpKind.NOP) and self._unmarked:
+            working = active.any(axis=1)
+            if working.all():
+                rows = self._unmarked
+                self._unmarked = set()
+            else:
+                rows = [r for r in self._unmarked if working[r]]
+                self._unmarked.difference_update(rows)
+            if self.num_slots == 1:
+                self.slots[0].stage_warps.update(rows)
+            else:
+                wpb = self.wpb
+                for r in rows:
+                    self.slots[r // wpb].stage_warps.add(r % wpb)
+        if kind == OpKind.ARITH or kind == OpKind.SELECT:
+            self._exec_arith(ws, decoded, active)
+        elif kind == OpKind.SETP:
+            self._exec_setp(ws, decoded, active)
+        elif kind == OpKind.LOAD_SHARED:
+            self._exec_shared(ws, decoded, active, is_load=True)
+        elif kind == OpKind.STORE_SHARED:
+            self._exec_shared(ws, decoded, active, is_load=False)
+        elif kind == OpKind.LOAD_GLOBAL:
+            self._exec_global(ws, decoded, active, is_load=True)
+        elif kind == OpKind.STORE_GLOBAL:
+            self._exec_global(ws, decoded, active, is_load=False)
+        elif kind == OpKind.NOP:
+            self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
+        else:  # pragma: no cover - all kinds handled above
+            raise SimulationError(f"unhandled opcode kind {kind}")
+
+    def _fetch(self, operand, active):
+        """Fetch one operand as a full ``(num_warps, 32)`` float64 slab.
+
+        Register slabs are views into the block register file; constant
+        slabs are cached and shared (callers never mutate operands).
+        Shared-memory operands also return their per-warp
+        (actual, ideal) bank-transaction counts.
+        """
+        tag = operand[0]
+        if tag == "reg":
+            return self.R3[:, :, operand[1]], None
+        if tag == "special" and operand[1] == "tid":
+            return self.tid_values, None
+        if tag == "imm" or tag == "special":
+            cached = self._operand_cache.get(operand)
+            if cached is None:
+                value = operand[1] if tag == "imm" else self.specials[operand[1]]
+                if isinstance(value, np.ndarray):
+                    # Block-varying special (ctaid in a grid batch):
+                    # one value per warp row, broadcast across lanes.
+                    cached = np.broadcast_to(
+                        value[:, None], (self.num_warps, WARP_SIZE)
+                    )
+                else:
+                    cached = np.full((self.num_warps, WARP_SIZE), float(value))
+                self._operand_cache[operand] = cached
+            return cached, None
+        if tag == "mem":
+            base_idx, offset = operand[1], operand[2]
+            addresses = self._shared_addresses(base_idx, offset, active)
+            if active.all():
+                values = self.smem.read(addresses.ravel()).reshape(
+                    addresses.shape
+                )
+            else:
+                values = np.zeros((self.num_warps, WARP_SIZE))
+                if active.any():
+                    values[active] = self.smem.read(addresses[active])
+            if base_idx < 0:
+                # Broadcast of one static word: one transaction per
+                # active half-warp, never a conflict.
+                halves = active[:, :HALF_WARP_SPLIT].any(axis=1).astype(
+                    np.int64
+                ) + active[:, HALF_WARP_SPLIT:].any(axis=1).astype(np.int64)
+                actual, ideal = halves, halves
+            else:
+                actual, ideal = warp_transactions_batch(
+                    addresses, active, self.sim._bank_config
+                )
+            self._account_shared(actual, ideal, active)
+            return values, (actual, ideal)
+        raise SimulationError(f"cannot fetch operand {operand!r}")
+
+    def _shared_addresses(self, base_idx, offset, active) -> np.ndarray:
+        """Shared addresses, translated into the grid arena if batched.
+
+        Grid batches validate block-local bounds *before* adding the
+        per-block arena offset, preserving the standalone out-of-bounds
+        behaviour; the 64-byte-aligned offsets never change bank/word
+        patterns, so conflict counts are unaffected.
+        """
+        addresses = self._addresses(base_idx, offset)
+        if self.smem_offsets is None:
+            return addresses
+        if active.any():
+            chosen = addresses[active]
+            footprint = self.sim.kernel.shared_memory_words * 4
+            if int(chosen.min()) < 0 or int(chosen.max()) + 4 > footprint:
+                raise MemoryAccessError(
+                    f"shared access out of bounds (footprint = {footprint} B)"
+                )
+        return addresses + self.smem_offsets
+
+    def _account_shared(self, actual, ideal, active) -> None:
+        if self.num_slots == 1:
+            stage = self.slots[0].stage
+            stage.shared_transactions += int(actual.sum())
+            stage.shared_transactions_ideal += int(ideal.sum())
+            stage.shared_useful_bytes += 4 * int(active.sum())
+            return
+        wpb = self.wpb
+        per_actual = actual.reshape(-1, wpb).sum(axis=1).tolist()
+        per_ideal = ideal.reshape(-1, wpb).sum(axis=1).tolist()
+        per_useful = active.reshape(self.num_slots, -1).sum(axis=1).tolist()
+        for slot, got, want, useful in zip(
+            self.slots, per_actual, per_ideal, per_useful
+        ):
+            stage = slot.stage
+            stage.shared_transactions += int(got)
+            stage.shared_transactions_ideal += int(want)
+            stage.shared_useful_bytes += 4 * int(useful)
+
+    def _addresses(self, base_idx: int, offset: int) -> np.ndarray:
+        if base_idx < 0:
+            return np.full(
+                (self.num_warps, WARP_SIZE), int(offset), dtype=np.int64
+            )
+        addresses = self.R3[:, :, base_idx]
+        if offset:
+            addresses = addresses + float(offset)
+        return addresses.astype(np.int64)
+
+    def _write_slab(self, column: np.ndarray, result, active) -> None:
+        """Masked write into a register/predicate column view."""
+        if active.all():
+            column[:, :] = result
+        else:
+            column[active] = result[active]
+
+    def _exec_arith(self, ws, decoded, active) -> None:
+        shared_actual = None
+        if decoded.kind == OpKind.SELECT:
+            pred_vals = self.P3[:, :, decoded.srcs[0][1]]
+            a, _ = self._fetch(decoded.srcs[1], active)
+            b, _ = self._fetch(decoded.srcs[2], active)
+            result = np.where(pred_vals, a, b)
+        else:
+            values = []
+            for operand in decoded.srcs:
+                value, txn = self._fetch(operand, active)
+                values.append(value)
+                if txn is not None:
+                    shared_actual = txn[0]
+            result = _eval_fn(decoded.opcode)(values)
+        if decoded.dst_reg >= 0 and active.any():
+            self._write_slab(self.R3[:, :, decoded.dst_reg], result, active)
+        if shared_actual is None:
+            self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
+        else:
+            self._emit(
+                ws,
+                decoded,
+                EV_ARITH_SHARED,
+                decoded.type_index,
+                shared_actual,
+                None,
+            )
+
+    def _exec_setp(self, ws, decoded, active) -> None:
+        a, _ = self._fetch(decoded.srcs[0], active)
+        b, _ = self._fetch(decoded.srcs[1], active)
+        result = _CMP_FUNCS[decoded.cmp](a, b)
+        if active.any():
+            self._write_slab(self.P3[:, :, decoded.dst_pred], result, active)
+        self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
+
+    def _exec_shared(self, ws, decoded, active, is_load: bool) -> None:
+        if is_load:
+            base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
+        else:
+            base_idx, offset = decoded.dst_mem[1], decoded.dst_mem[2]
+        addresses = self._shared_addresses(base_idx, offset, active)
+        if active.any():
+            full = active.all()
+            if is_load:
+                if full:
+                    self.R3[:, :, decoded.dst_reg][:, :] = self.smem.read(
+                        addresses.ravel()
+                    ).reshape(addresses.shape)
+                else:
+                    values = self.smem.read(addresses[active])
+                    self.R3[:, :, decoded.dst_reg][active] = values
+            else:
+                store_vals, _ = self._fetch(decoded.srcs[0], active)
+                # Row-major flattening stores in ascending warp order,
+                # matching the serial oracle's last-writer-wins.
+                if full:
+                    self.smem.write(addresses.ravel(), store_vals.ravel())
+                else:
+                    self.smem.write(addresses[active], store_vals[active])
+            actual, ideal = warp_transactions_batch(
+                addresses, active, self.sim._bank_config
+            )
+        else:
+            actual = ideal = np.zeros(self.num_warps, dtype=np.int64)
+        self._account_shared(actual, ideal, active)
+        self._emit(ws, decoded, EV_SHARED, actual, 0, None)
+
+    def _allocation_for(self, decoded, address: int):
+        """Allocation lookup memoized per static instruction.
+
+        Consecutive executions of one load/store overwhelmingly target
+        the same allocation; a containment check on the memoized hit
+        avoids re-scanning the allocation list, and a miss falls back
+        to the full scan (``None`` results are never memoized).
+        """
+        key = id(decoded)
+        allocation = self._alloc_cache.get(key)
+        if allocation is not None and allocation.contains(address):
+            return allocation
+        allocation = self.sim.gmem.allocation_at(address)
+        if allocation is not None:
+            self._alloc_cache[key] = allocation
+        return allocation
+
+    def _exec_global(self, ws, decoded, active, is_load: bool) -> None:
+        if is_load:
+            base_idx, offset = decoded.srcs[0][1], decoded.srcs[0][2]
+        else:
+            base_idx, offset = decoded.dst_mem[1], decoded.dst_mem[2]
+        addresses = self._addresses(base_idx, offset)
+
+        single = self.num_slots == 1
+        num_warps = self.num_warps
+        wpb = self.wpb
+        n_active = int(active.sum())
+        if single:
+            stage = self.slots[0].stage
+            stage.global_requests += len(ws)
+            stage.global_useful_bytes += 4 * n_active
+        else:
+            per_useful = active.reshape(self.num_slots, -1).sum(axis=1).tolist()
+            for slot, k in self._per_slot_counts(ws):
+                slot.stage.global_requests += k
+            for slot, useful in zip(self.slots, per_useful):
+                slot.stage.global_useful_bytes += 4 * int(useful)
+
+        primary_txns: np.ndarray | int = 0
+        primary_bytes: np.ndarray | int = 0
+        payloads = None
+        if n_active:
+            full = n_active == active.size
+            gmem = self.sim.gmem
+            if is_load:
+                if full:
+                    self.R3[:, :, decoded.dst_reg][:, :] = gmem.read(
+                        addresses.ravel()
+                    ).reshape(addresses.shape)
+                else:
+                    values = gmem.read(addresses[active])
+                    self.R3[:, :, decoded.dst_reg][active] = values
+            else:
+                store_vals, _ = self._fetch(decoded.srcs[0], active)
+                if full:
+                    gmem.write(addresses.ravel(), store_vals.ravel())
+                else:
+                    gmem.write(addresses[active], store_vals[active])
+
+            if full:
+                lo = addresses.min(axis=1)
+                hi = addresses.max(axis=1) + 4
+                first_addr = addresses[:, 0]
+                active_rows = None
+                rows = self.all_warps
+            else:
+                lo = np.where(active, addresses, _INT64_MAX).min(axis=1)
+                hi = np.where(active, addresses, -1).max(axis=1) + 4
+                first_lane = active.argmax(axis=1)
+                first_addr = addresses[self.warp_range, first_lane]
+                active_rows = active.any(axis=1)
+                rows = np.flatnonzero(active_rows).tolist()
+            names: list[str | None] = [None] * num_warps
+            slots = self.slots
+            for i in rows:
+                allocation = self._allocation_for(decoded, int(first_addr[i]))
+                names[i] = allocation.name if allocation else "?"
+                slots[i // wpb].track_global(
+                    names[i], int(lo[i]), int(hi[i]), is_load
+                )
+            one_name = len({names[i] for i in rows}) == 1
+
+            record = self.launch.record_segments
+            granularities = self.launch.granularities
+            # Non-primary granularities only feed aggregate counters,
+            # so their per-warp histograms are skipped when a single
+            # block with one target allocation is running.  Addresses
+            # were validated 4-byte aligned by the read/write above.
+            outputs = coalesce_warp_multi(
+                addresses,
+                None if full else active,
+                4,
+                self._gran_configs,
+                want_segments_at=0 if record else None,
+                totals_only=(
+                    self._totals_tail if one_name and single else ()
+                ),
+                aligned=True,
+            )
+            segments = None
+            for position, granularity in enumerate(granularities):
+                counts, nbytes, total_txns, total_bytes, segs = outputs[
+                    position
+                ]
+                if single:
+                    self._account_gran_single(
+                        granularity,
+                        total_txns,
+                        total_bytes,
+                        counts,
+                        nbytes,
+                        names,
+                        rows,
+                        one_name,
+                    )
+                else:
+                    self._account_gran_grid(
+                        granularity, counts, nbytes, names, rows, one_name
+                    )
+                if position == 0:
+                    primary_txns = counts
+                    primary_bytes = nbytes
+                    segments = segs
+            if segments is not None:
+                cacheable_names = gmem.cacheable_names
+                payloads = [
+                    (
+                        (names[i] in cacheable_names, segments[i])
+                        if active_rows is None or active_rows[i]
+                        else None
+                    )
+                    for i in range(num_warps)
+                ]
+
+        event_kind = EV_GLOBAL_LD if is_load else EV_GLOBAL_ST
+        self._emit(ws, decoded, event_kind, primary_txns, primary_bytes, payloads)
+
+    def _account_gran_single(
+        self, granularity, total_txns, total_bytes, counts, nbytes,
+        names, rows, one_name,
+    ) -> None:
+        stage = self.slots[0].stage
+        stage.global_transactions[granularity] = (
+            stage.global_transactions.get(granularity, 0) + total_txns
+        )
+        stage.global_bytes[granularity] = (
+            stage.global_bytes.get(granularity, 0) + total_bytes
+        )
+        if one_name:
+            per_array = stage.global_by_array.setdefault(names[rows[0]], {})
+            old = per_array.get(granularity, (0, 0))
+            per_array[granularity] = (
+                old[0] + total_txns,
+                old[1] + total_bytes,
+            )
+        else:
+            for i in rows:
+                per_array = stage.global_by_array.setdefault(names[i], {})
+                old = per_array.get(granularity, (0, 0))
+                per_array[granularity] = (
+                    old[0] + int(counts[i]),
+                    old[1] + int(nbytes[i]),
+                )
+
+    def _account_gran_grid(
+        self, granularity, counts, nbytes, names, rows, one_name
+    ) -> None:
+        wpb = self.wpb
+        per_txn = counts.reshape(-1, wpb).sum(axis=1).tolist()
+        per_bytes = nbytes.reshape(-1, wpb).sum(axis=1).tolist()
+        for slot, txn, nb in zip(self.slots, per_txn, per_bytes):
+            if not txn:
+                # A block with no active lanes for this instruction must
+                # not even create the granularity keys (serial parity).
+                continue
+            stage = slot.stage
+            stage.global_transactions[granularity] = (
+                stage.global_transactions.get(granularity, 0) + int(txn)
+            )
+            stage.global_bytes[granularity] = (
+                stage.global_bytes.get(granularity, 0) + int(nb)
+            )
+            if one_name:
+                per_array = stage.global_by_array.setdefault(
+                    names[rows[0]], {}
+                )
+                old = per_array.get(granularity, (0, 0))
+                per_array[granularity] = (
+                    old[0] + int(txn),
+                    old[1] + int(nb),
+                )
+        if not one_name:
+            for i in rows:
+                stage = self.slots[i // wpb].stage
+                per_array = stage.global_by_array.setdefault(names[i], {})
+                old = per_array.get(granularity, (0, 0))
+                per_array[granularity] = (
+                    old[0] + int(counts[i]),
+                    old[1] + int(nbytes[i]),
+                )
+
+    # ------------------------------------------------------------------
+    # statistics plumbing
+    # ------------------------------------------------------------------
+    def _record_issue(self, decoded, ws) -> None:
+        if self.num_slots == 1:
+            k = len(ws)
+            stage = self.slots[0].stage
+            stage.instructions[decoded.mnemonic] += k
+            stage.instr_by_type[decoded.type_name] += k
+            if decoded.is_mad:
+                stage.mad_instructions += k
+            return
+        for slot, k in self._per_slot_counts(ws):
+            stage = slot.stage
+            stage.instructions[decoded.mnemonic] += k
+            stage.instr_by_type[decoded.type_name] += k
+            if decoded.is_mad:
+                stage.mad_instructions += k
+
+    def _per_slot_counts(self, ws):
+        """(slot, group-warp-count) pairs for one PC-group."""
+        if ws is self.all_warps:
+            wpb = self.wpb
+            return [(slot, wpb) for slot in self.slots]
+        counts: dict[int, int] = {}
+        wpb = self.wpb
+        for w in ws:
+            b = w // wpb
+            counts[b] = counts.get(b, 0) + 1
+        return [(self.slots[b], k) for b, k in counts.items()]
+
+    def _emit(self, ws, decoded, kind, a, b, payloads) -> None:
+        """Append one event per group warp with batched dep tracking.
+
+        ``a``/``b`` are either scalars shared by every warp or per-warp
+        arrays; ``payloads`` is ``None`` or one payload per warp.  The
+        appended tuples carry plain Python ints, matching the per-warp
+        oracle's streams byte for byte.
+        """
+        producer = None
+        owned = False  # single-source producers stay read-only views
+        for reg in decoded.reads:
+            column = self.reg_producer[:, reg]
+            if producer is None:
+                producer = column
+            elif owned:
+                np.maximum(producer, column, out=producer)
+            else:
+                producer = np.maximum(producer, column)
+                owned = True
+        for pidx in decoded.preds_read:
+            column = self.pred_producer[:, pidx]
+            if producer is None:
+                producer = column
+            elif owned:
+                np.maximum(producer, column, out=producer)
+            else:
+                producer = np.maximum(producer, column)
+                owned = True
+        event_index = self.stream_lens
+        if producer is None:
+            dep = None
+        else:
+            dep = np.where(producer >= 0, event_index - producer, 0)
+        a_vec = isinstance(a, np.ndarray)
+        b_vec = isinstance(b, np.ndarray)
+        for w in ws:
+            self.streams[w].append(
+                (
+                    kind,
+                    int(dep[w]) if dep is not None else 0,
+                    int(a[w]) if a_vec else a,
+                    int(b[w]) if b_vec else b,
+                    payloads[w] if payloads is not None else None,
+                )
+            )
+        full = len(ws) == self.num_warps
+        for reg in decoded.writes:
+            column = self.reg_producer[:, reg]
+            if full:
+                column[:] = event_index
+            else:
+                column[ws] = event_index[ws]
+        if decoded.dst_pred >= 0:
+            column = self.pred_producer[:, decoded.dst_pred]
+            if full:
+                column[:] = event_index
+            else:
+                column[ws] = event_index[ws]
+        if full:
+            self.stream_lens = event_index + 1
+        else:
+            event_index = event_index.copy()
+            event_index[ws] += 1
+            self.stream_lens = event_index
+
+
+def _int_op(fn):
+    """Wrap an int64 operation as a float64-in/float64-out evaluator."""
+
+    def apply(values: list[np.ndarray]) -> np.ndarray:
+        ints = [np.asarray(v, dtype=np.float64).astype(np.int64) for v in values]
+        return fn(*ints).astype(np.float64)
+
+    return apply
+
+
+#: Arithmetic evaluators (float32 semantics), shared by both
+#: interpreters.  Each entry works elementwise, so ``(32,)`` lane
+#: vectors and ``(k_warps, 32)`` slabs go through the same function.
+#: The batched interpreter calls entries directly under one loop-wide
+#: ``np.errstate``; the per-warp oracle goes through :func:`_evaluate`.
+_EVAL_TABLE = {
+    Opcode.MOV: lambda v: v[0],
+    Opcode.FADD: lambda v: _f32(np.float32(v[0]) + np.float32(v[1])),
+    Opcode.FMUL: lambda v: _f32(np.float32(v[0]) * np.float32(v[1])),
+    Opcode.FMAD: lambda v: _f32(
+        np.float32(v[0]) * np.float32(v[1]) + np.float32(v[2])
+    ),
+    Opcode.FNEG: lambda v: -v[0],
+    Opcode.FMIN: lambda v: np.minimum(v[0], v[1]),
+    Opcode.FMAX: lambda v: np.maximum(v[0], v[1]),
+    Opcode.RCP: lambda v: _f32(np.float32(1.0) / np.float32(v[0])),
+    Opcode.SIN: lambda v: _f32(np.sin(np.float32(v[0]))),
+    Opcode.COS: lambda v: _f32(np.cos(np.float32(v[0]))),
+    Opcode.LG2: lambda v: _f32(np.log2(np.float32(v[0]))),
+    Opcode.EX2: lambda v: _f32(np.exp2(np.float32(v[0]))),
+    Opcode.RSQRT: lambda v: _f32(np.float32(1.0) / np.sqrt(np.float32(v[0]))),
+    Opcode.DADD: lambda v: v[0] + v[1],
+    Opcode.DMUL: lambda v: v[0] * v[1],
+    Opcode.DFMA: lambda v: v[0] * v[1] + v[2],
+    Opcode.IADD: _int_op(lambda a, b: a + b),
+    Opcode.ISUB: _int_op(lambda a, b: a - b),
+    Opcode.IMUL: _int_op(lambda a, b: a * b),
+    Opcode.IMAD: _int_op(lambda a, b, c: a * b + c),
+    Opcode.ISHL: _int_op(lambda a, b: a << b),
+    Opcode.ISHR: _int_op(lambda a, b: a >> b),
+    Opcode.IAND: _int_op(lambda a, b: a & b),
+    Opcode.IOR: _int_op(lambda a, b: a | b),
+    Opcode.IXOR: _int_op(lambda a, b: a ^ b),
+    Opcode.IMIN: _int_op(np.minimum),
+    Opcode.IMAX: _int_op(np.maximum),
+}
+
+
+def _eval_fn(opcode: Opcode):
+    fn = _EVAL_TABLE.get(opcode)
+    if fn is None:
+        raise SimulationError(f"no evaluator for opcode {opcode.mnemonic}")
+    return fn
+
+
 def _evaluate(opcode: Opcode, values: list[np.ndarray]) -> np.ndarray:
     """Apply an arithmetic opcode to lane vectors (float32 semantics)."""
+    fn = _eval_fn(opcode)
     with np.errstate(all="ignore"):
-        if opcode is Opcode.MOV:
-            return values[0]
-        if opcode is Opcode.FADD:
-            return _f32(np.float32(values[0]) + np.float32(values[1]))
-        if opcode is Opcode.FMUL:
-            return _f32(np.float32(values[0]) * np.float32(values[1]))
-        if opcode is Opcode.FMAD:
-            return _f32(
-                np.float32(values[0]) * np.float32(values[1]) + np.float32(values[2])
-            )
-        if opcode is Opcode.FNEG:
-            return -values[0]
-        if opcode is Opcode.FMIN:
-            return np.minimum(values[0], values[1])
-        if opcode is Opcode.FMAX:
-            return np.maximum(values[0], values[1])
-        if opcode is Opcode.RCP:
-            return _f32(np.float32(1.0) / np.float32(values[0]))
-        if opcode is Opcode.SIN:
-            return _f32(np.sin(np.float32(values[0])))
-        if opcode is Opcode.COS:
-            return _f32(np.cos(np.float32(values[0])))
-        if opcode is Opcode.LG2:
-            return _f32(np.log2(np.float32(values[0])))
-        if opcode is Opcode.EX2:
-            return _f32(np.exp2(np.float32(values[0])))
-        if opcode is Opcode.RSQRT:
-            return _f32(np.float32(1.0) / np.sqrt(np.float32(values[0])))
-        if opcode is Opcode.DADD:
-            return values[0] + values[1]
-        if opcode is Opcode.DMUL:
-            return values[0] * values[1]
-        if opcode is Opcode.DFMA:
-            return values[0] * values[1] + values[2]
-        ints = [np.asarray(v, dtype=np.float64).astype(np.int64) for v in values]
-        if opcode is Opcode.IADD:
-            return (ints[0] + ints[1]).astype(np.float64)
-        if opcode is Opcode.ISUB:
-            return (ints[0] - ints[1]).astype(np.float64)
-        if opcode is Opcode.IMUL:
-            return (ints[0] * ints[1]).astype(np.float64)
-        if opcode is Opcode.IMAD:
-            return (ints[0] * ints[1] + ints[2]).astype(np.float64)
-        if opcode is Opcode.ISHL:
-            return (ints[0] << ints[1]).astype(np.float64)
-        if opcode is Opcode.ISHR:
-            return (ints[0] >> ints[1]).astype(np.float64)
-        if opcode is Opcode.IAND:
-            return (ints[0] & ints[1]).astype(np.float64)
-        if opcode is Opcode.IOR:
-            return (ints[0] | ints[1]).astype(np.float64)
-        if opcode is Opcode.IXOR:
-            return (ints[0] ^ ints[1]).astype(np.float64)
-        if opcode is Opcode.IMIN:
-            return np.minimum(ints[0], ints[1]).astype(np.float64)
-        if opcode is Opcode.IMAX:
-            return np.maximum(ints[0], ints[1]).astype(np.float64)
-    raise SimulationError(f"no evaluator for opcode {opcode.mnemonic}")
+        return fn(values)
 
 
 def _f32(values: np.ndarray) -> np.ndarray:

@@ -91,6 +91,11 @@ class GlobalMemory:
         allocation = self.allocation_at(address)
         return allocation is not None and allocation.name in self._cacheable
 
+    @property
+    def cacheable_names(self) -> frozenset[str]:
+        """Names of texture-bound allocations (batch-lookup helper)."""
+        return frozenset(self._cacheable)
+
     def digest(self) -> str:
         """Content fingerprint of the arena (layout, flags and data).
 
@@ -115,17 +120,106 @@ class GlobalMemory:
                 return allocation
         return None
 
+    # ------------------------------------------------------------------
+    # zero-copy export to pool workers
+    # ------------------------------------------------------------------
+    def share(self):
+        """Export the arena through ``multiprocessing.shared_memory``.
+
+        Returns ``(descriptor, segment)`` -- a picklable descriptor for
+        worker processes plus the owning ``SharedMemory`` segment the
+        caller must ``close()``/``unlink()`` after the pool is done --
+        or ``None`` when the platform offers no shared memory (import
+        or allocation failure), in which case callers fall back to
+        pickling the arena itself.  The descriptor carries the arena's
+        content digest so workers can assert they attached to the
+        unchanged pre-launch contents.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - always present on CPython
+            return None
+        words = self._top // 4
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(words * 8, 8)
+            )
+        except OSError:  # pragma: no cover - e.g. unwritable /dev/shm
+            return None
+        buffer = np.ndarray(words, dtype=np.float64, buffer=segment.buf)
+        np.copyto(buffer, self._data[:words])
+        descriptor = {
+            "shm_name": segment.name,
+            "words": words,
+            "top": self._top,
+            "allocations": [
+                (a.name, a.base, a.size) for a in self._allocations
+            ],
+            "cacheable": sorted(self._cacheable),
+            "digest": self.digest(),
+        }
+        return descriptor, segment
+
+    @classmethod
+    def from_shared(cls, descriptor: dict) -> "GlobalMemory":
+        """Rebuild an arena from a :meth:`share` descriptor.
+
+        The worker copies the segment into *private* memory (its kernel
+        stores must stay invisible to other workers, exactly like the
+        pickling path) and then detaches.  The copy is verified against
+        the descriptor's content digest: workers are guaranteed to see
+        the pre-launch contents unchanged.
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        # CPython < 3.13 registers even plain *attaches* with the
+        # resource tracker, which double-counts the owner's segment and
+        # races concurrent workers' unregisters.  Suppress registration
+        # for the duration of the attach; the owner alone tracks and
+        # unlinks the segment.
+        original_register = resource_tracker.register
+
+        def _no_shm_register(name, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        resource_tracker.register = _no_shm_register
+        try:
+            segment = shared_memory.SharedMemory(name=descriptor["shm_name"])
+        finally:
+            resource_tracker.register = original_register
+        try:
+            words = descriptor["words"]
+            gmem = cls(capacity_words=max(words, 1))
+            gmem._data[:words] = np.ndarray(
+                words, dtype=np.float64, buffer=segment.buf
+            )
+        finally:
+            segment.close()
+        gmem._top = descriptor["top"]
+        gmem._allocations = [
+            Allocation(name, base, size)
+            for name, base, size in descriptor["allocations"]
+        ]
+        gmem._cacheable = set(descriptor["cacheable"])
+        if gmem.digest() != descriptor["digest"]:
+            raise MemoryAccessError(
+                "shared global-memory arena changed between launch and "
+                "worker attach (content digest mismatch)"
+            )
+        return gmem
+
     def _word_indices(self, addresses: np.ndarray) -> np.ndarray:
         addresses = np.asarray(addresses, dtype=np.int64)
         if addresses.size == 0:
             return addresses
-        if np.any(addresses % 4):
+        if np.any(addresses & 3):
             raise MemoryAccessError("global access must be 4-byte aligned")
-        if np.any(addresses < self._ALIGN) or np.any(addresses + 4 > self._top):
+        if int(addresses.min()) < self._ALIGN or int(addresses.max()) + 4 > self._top:
             raise MemoryAccessError(
                 f"global access out of bounds (arena top = {self._top})"
             )
-        return addresses // 4
+        return addresses >> 2
 
     def read(self, addresses: np.ndarray) -> np.ndarray:
         """Read one word per byte address."""

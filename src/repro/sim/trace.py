@@ -15,6 +15,8 @@ Two views of one execution:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -160,16 +162,36 @@ class StageStats:
         return out
 
 
+def stream_digest(warp_streams: list[list[Event]]) -> str:
+    """Content hash of one block's warp streams.
+
+    This is the timing layer's class identity: two blocks with equal
+    digests replay identically, wherever their traces came from.  The
+    digest doubles as the class table entry in measured-run cache keys.
+    """
+    return hashlib.sha256(
+        pickle.dumps(warp_streams, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
 @dataclass
 class BlockTrace:
     """Everything recorded while simulating one block.
 
     ``global_load_ranges`` / ``global_store_ranges`` are byte spans
     ``[lo, hi)`` this block touched through global loads and stores,
-    one hull per accessed allocation.  The engine's cross-block
-    read-after-write check compares them across blocks; they are
-    deliberately excluded from :meth:`stats_key`, since block-shifted
-    bases move the footprint without changing behaviour.
+    a bounded interval list per accessed allocation.  The engine's
+    cross-block read-after-write check compares them across blocks;
+    they are deliberately excluded from :meth:`stats_key`, since
+    block-shifted bases move the footprint without changing behaviour.
+
+    The stream digest and behavioural fingerprint are memoized on the
+    trace (keyed by the per-warp stream lengths, which any legitimate
+    stream mutation changes), so very large data-dependent class tables
+    are hashed once instead of once per ``MeasuredRunCache`` lookup.
+    Mutating events *in place* without changing stream lengths bypasses
+    the invalidation -- streams are append-only records everywhere in
+    this codebase.
     """
 
     block: tuple[int, int]
@@ -177,6 +199,12 @@ class BlockTrace:
     warp_streams: list[list[Event]]
     global_load_ranges: tuple[tuple[int, int], ...] = ()
     global_store_ranges: tuple[tuple[int, int], ...] = ()
+    _digest_memo: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
+    _stats_key_memo: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_warps(self) -> int:
@@ -189,6 +217,28 @@ class BlockTrace:
             total.merge(stage)
         return total
 
+    def __getstate__(self):
+        # The memos are cheap to rebuild and would otherwise serialize a
+        # second rendering of the streams into every on-disk cache entry
+        # and worker IPC message.
+        state = self.__dict__.copy()
+        state["_digest_memo"] = None
+        state["_stats_key_memo"] = None
+        return state
+
+    def _stream_lengths(self) -> tuple[int, ...]:
+        return tuple(len(stream) for stream in self.warp_streams)
+
+    def stream_digest(self) -> str:
+        """Memoized :func:`stream_digest` of this block's streams."""
+        lengths = self._stream_lengths()
+        memo = self._digest_memo
+        if memo is not None and memo[0] == lengths:
+            return memo[1]
+        digest = stream_digest(self.warp_streams)
+        self._digest_memo = (lengths, digest)
+        return digest
+
     def stats_key(self) -> tuple:
         """Behavioural fingerprint of this block's execution.
 
@@ -197,10 +247,16 @@ class BlockTrace:
         streams, so either can stand in for the other (the engine's
         deduplication test).
         """
-        return (
+        lengths = self._stream_lengths()
+        memo = self._stats_key_memo
+        if memo is not None and memo[0] == lengths:
+            return memo[1]
+        key = (
             tuple(stage.canonical() for stage in self.stages),
             tuple(tuple(stream) for stream in self.warp_streams),
         )
+        self._stats_key_memo = (lengths, key)
+        return key
 
 
 @dataclass
