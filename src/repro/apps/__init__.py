@@ -1,4 +1,5 @@
-"""Case-study applications: dense MM, tridiagonal solver, SpMV."""
+"""Case-study applications: dense MM, tridiagonal solver, SpMV,
+tree reduction, and a 3-point Jacobi stencil."""
 
 from repro.apps.common import AppRun, execute, kernel_resources
 from repro.apps.matmul import (
@@ -8,6 +9,12 @@ from repro.apps.matmul import (
     validate_matmul,
 )
 from repro.apps.matrices import BlockSparseMatrix, qcd_like, random_blocked
+from repro.apps.reduction import (
+    build_reduction_kernel,
+    reduction_stage_count,
+    run_reduction,
+    validate_reduction,
+)
 from repro.apps.spmv import (
     FORMATS,
     GRANULARITIES,
@@ -16,6 +23,11 @@ from repro.apps.spmv import (
     bytes_per_entry,
     run_spmv,
     validate_spmv,
+)
+from repro.apps.stencil import (
+    build_stencil_kernel,
+    run_stencil,
+    validate_stencil,
 )
 from repro.apps.tridiag import (
     build_cr_kernel,
@@ -35,17 +47,24 @@ __all__ = [
     "build_cr_kernel",
     "build_ell_kernel",
     "build_matmul_kernel",
+    "build_reduction_kernel",
+    "build_stencil_kernel",
     "bytes_per_entry",
     "execute",
     "forward_stage_count",
     "kernel_resources",
     "qcd_like",
     "random_blocked",
+    "reduction_stage_count",
     "run_cr",
     "run_matmul",
+    "run_reduction",
     "run_spmv",
+    "run_stencil",
     "thomas_solve",
     "validate_cr",
     "validate_matmul",
+    "validate_reduction",
     "validate_spmv",
+    "validate_stencil",
 ]

@@ -1,0 +1,193 @@
+"""Block-wise tree reduction with per-level barriers.
+
+Each block sums a contiguous segment of ``2 * block_threads`` elements:
+a coalesced two-element load folds the segment in half on the way into
+shared memory, then ``log2(block_threads)`` halving levels run with a
+``bar.sync`` between them -- thread ``t`` of level ``h`` adds
+``smem[t + h]`` to its register-resident partial sum and publishes it
+back to ``smem[t]`` for the next level.  Thread 0 finally writes the
+block's total to ``out[ctaid_x]``.
+
+The kernel is the canonical barrier-synchronized workload shape: every
+level is one synchronization stage whose active-warp count halves until
+a single warp (then a single lane) carries the work, exactly the
+shrinking-parallelism profile of the paper's cyclic reduction (Fig. 7)
+in its simplest form.  It exists to exercise the grid-batched
+interpreter's per-block barrier release and, alongside the stencil, the
+engine's boundary-role partitioning with real kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.common import AppRun, execute
+from repro.errors import LaunchError
+from repro.hw.gpu import HardwareGpu
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Imm
+from repro.isa.program import Kernel
+from repro.model.performance import PerformanceModel
+from repro.sim.functional import LaunchConfig
+from repro.sim.memory import GlobalMemory
+
+#: Default block size: 4 warps, 256 elements per block.
+BLOCK_THREADS = 128
+
+
+def _log2(value: int) -> int:
+    m = value.bit_length() - 1
+    if value <= 1 or (1 << m) != value:
+        raise LaunchError(
+            f"block_threads must be a power of two >= 2, got {value}"
+        )
+    return m
+
+
+def reduction_stage_count(block_threads: int) -> int:
+    """Stages of one block: load + ``log2`` levels + the final store."""
+    return _log2(block_threads) + 2
+
+
+def build_reduction_kernel(block_threads: int = BLOCK_THREADS) -> Kernel:
+    """Native kernel summing ``2 * block_threads`` elements per block."""
+    m = _log2(block_threads)
+    b = KernelBuilder(f"reduce_{block_threads}", params=("src", "out"))
+    smem = b.alloc_shared(block_threads)
+
+    # elem = ctaid_x * 2T + tid; the two loads are both fully coalesced.
+    elem = b.reg()
+    b.imul(elem, b.ctaid_x, Imm(2 * block_threads))
+    b.iadd(elem, elem, b.tid)
+    gaddr = b.reg()
+    b.imad(gaddr, elem, Imm(4), b.param("src"))
+    acc = b.reg()
+    other = b.reg()
+    b.ldg(acc, gaddr)
+    b.ldg(other, gaddr, offset=4 * block_threads)
+    b.fadd(acc, acc, other)
+
+    saddr = b.reg()
+    b.ishl(saddr, b.tid, Imm(2))
+    b.sts(acc, saddr, offset=smem)
+    b.bar()
+
+    # Halving levels: thread t < h folds smem[t + h] into its register-
+    # resident partial (its own smem[t] is what it wrote last level) and
+    # publishes the new partial for the next level's readers.
+    guard = b.pred()
+    for level in range(m - 1, -1, -1):
+        h = 1 << level
+        b.isetp(guard, "lt", b.tid, Imm(h))
+        with b.if_then(guard):
+            b.lds(other, saddr, offset=smem + 4 * h)
+            b.fadd(acc, acc, other)
+            b.sts(acc, saddr, offset=smem)
+        b.bar()
+
+    b.isetp(guard, "eq", b.tid, Imm(0))
+    with b.if_then(guard):
+        oaddr = b.reg()
+        b.imad(oaddr, b.ctaid_x, Imm(4), b.param("out"))
+        b.stg(oaddr, acc)
+    b.exit()
+    return b.build()
+
+
+@dataclass
+class ReductionProblem:
+    """Host-side state of one segmented-sum instance."""
+
+    block_threads: int
+    num_blocks: int
+    gmem: GlobalMemory
+    data: np.ndarray
+    base_src: int
+    base_out: int
+
+    def launch(self) -> LaunchConfig:
+        return LaunchConfig(
+            grid=(self.num_blocks, 1),
+            block_threads=self.block_threads,
+            params={"src": self.base_src, "out": self.base_out},
+        )
+
+    def result(self) -> np.ndarray:
+        return self.gmem.read_array(self.base_out, self.num_blocks)
+
+    def reference(self) -> np.ndarray:
+        """Per-block sums in the kernel's exact float32 pairwise order."""
+        values = self.data.reshape(
+            self.num_blocks, 2 * self.block_threads
+        ).astype(np.float32)
+        half = self.block_threads
+        acc = values[:, :half] + values[:, half:]
+        while half > 1:
+            half //= 2
+            acc = acc[:, :half] + acc[:, half : 2 * half]
+        return acc[:, 0].astype(np.float64)
+
+
+def prepare_problem(
+    block_threads: int = BLOCK_THREADS,
+    num_blocks: int = 64,
+    seed: int = 17,
+) -> ReductionProblem:
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-1, 1, size=num_blocks * 2 * block_threads)
+    gmem = GlobalMemory()
+    base_src = gmem.alloc_array(data, "src")
+    base_out = gmem.alloc(num_blocks, "out")
+    return ReductionProblem(
+        block_threads, num_blocks, gmem, data, base_src, base_out
+    )
+
+
+def run_reduction(
+    block_threads: int = BLOCK_THREADS,
+    num_blocks: int = 64,
+    model: PerformanceModel | None = None,
+    gpu: HardwareGpu | None = None,
+    representative: bool = True,
+    measure: bool = True,
+    seed: int = 17,
+    workers: int = 0,
+    trace_cache: str | None = None,
+) -> AppRun:
+    """Full workflow on one segmented-sum launch."""
+    problem = prepare_problem(block_threads, num_blocks, seed)
+    kernel = build_reduction_kernel(block_threads)
+    sample = [(0, 0)] if representative else None
+    return execute(
+        name=f"reduce {block_threads}t ({num_blocks} blocks)",
+        kernel=kernel,
+        gmem=problem.gmem,
+        launch=problem.launch(),
+        sample_blocks=sample,
+        model=model,
+        gpu=gpu,
+        measure=measure,
+        workers=workers,
+        trace_cache=trace_cache,
+    )
+
+
+def validate_reduction(
+    block_threads: int = BLOCK_THREADS, num_blocks: int = 8, seed: int = 3
+) -> float:
+    """Run the full grid and return the max abs error vs the float32
+    pairwise reference (the orders match, so this is exactly 0.0)."""
+    problem = prepare_problem(block_threads, num_blocks, seed)
+    kernel = build_reduction_kernel(block_threads)
+    execute(
+        name="validate",
+        kernel=kernel,
+        gmem=problem.gmem,
+        launch=problem.launch(),
+        sample_blocks=None,
+        measure=False,
+        engine=False,  # numerical results must land in gmem
+    )
+    return float(np.max(np.abs(problem.result() - problem.reference())))

@@ -63,7 +63,11 @@ from repro.sim.trace import (
 #: v3: footprints are bounded interval lists (not single hulls), and
 #: barrier-free grids run through the multi-block batched interpreter
 #: (cross-block write visibility changed for racy kernels).
-ENGINE_CACHE_VERSION = 3
+#: v4: barrier-synchronized grids batch too (per-block barrier release
+#: inside one slab), so cross-block write visibility changed for racy
+#: *barriered* kernels, and the slab width (grid_batch_blocks) joined
+#: the key.
+ENGINE_CACHE_VERSION = 4
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -471,7 +475,8 @@ _WORKER_STATE: tuple[FunctionalSimulator, LaunchConfig] | None = None
 
 
 def _init_worker(
-    kernel, gmem, spec, max_warp_instructions, launch, batched
+    kernel, gmem, spec, max_warp_instructions, launch, batched,
+    grid_batch_blocks,
 ) -> None:
     global _WORKER_STATE
     if isinstance(gmem, dict):
@@ -484,6 +489,7 @@ def _init_worker(
         spec=spec,
         max_warp_instructions=max_warp_instructions,
         batched=batched,
+        grid_batch_blocks=grid_batch_blocks,
     )
     _WORKER_STATE = (simulator, launch)
 
@@ -514,6 +520,10 @@ class SimulationEngine:
         Use the block-wide batched interpreter (default).  ``False``
         selects the per-warp reference oracle -- bit-identical traces,
         kept for differential benchmarks and tests.
+    grid_batch_blocks:
+        Blocks per multi-block interpreter slab (and per worker chunk).
+        ``None`` defers to ``$REPRO_GRID_BATCH_BLOCKS``, then to the
+        simulator's default of 32.
     """
 
     def __init__(
@@ -525,6 +535,7 @@ class SimulationEngine:
         cache_dir: str | os.PathLike | None = None,
         max_warp_instructions: int = 50_000_000,
         batched: bool = True,
+        grid_batch_blocks: int | None = None,
     ) -> None:
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
@@ -538,6 +549,7 @@ class SimulationEngine:
             spec=spec,
             max_warp_instructions=max_warp_instructions,
             batched=batched,
+            grid_batch_blocks=grid_batch_blocks,
         )
         self.dependence = analyze_dependence(kernel)
         self.cache = TraceCache(cache_dir) if cache_dir is not None else None
@@ -766,6 +778,7 @@ class SimulationEngine:
                     self.max_warp_instructions,
                     launch,
                     self.batched,
+                    self.simulator.grid_batch_blocks,
                 ),
             )
         finally:
@@ -835,6 +848,12 @@ class SimulationEngine:
         # share its copy); never share entries across widths, and fold
         # the serial cases (workers 0 and 1 run identically in-process).
         h.update(f"workers={self.workers if self.workers > 1 else 0}".encode())
+        if self.batched:
+            # Slab width likewise shapes cross-block visibility for
+            # racy kernels (blocks sharing a slab interleave lockstep);
+            # the per-warp oracle never forms slabs, so its keys stay
+            # width-independent.
+            h.update(f"gbb={self.simulator.grid_batch_blocks};".encode())
         if not self.batched:
             # Batched and per-warp traces are bit-identical for
             # well-synchronized kernels; the oracle is keyed separately

@@ -42,6 +42,7 @@ barrier-synchronized communication behaves identically in both modes).
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -85,6 +86,21 @@ from repro.sim.trace import (
 # Instructions that count as "actual computation" for the paper's
 # computational-density metric.  Integer MADs are address bookkeeping.
 _MAD_OPS = (Opcode.FMAD, Opcode.DFMA)
+
+#: Environment override for :attr:`FunctionalSimulator.grid_batch_blocks`
+#: (the engine kwarg takes precedence; invalid values fail open).
+GRID_BATCH_BLOCKS_ENV = "REPRO_GRID_BATCH_BLOCKS"
+
+
+def _env_grid_batch_blocks() -> int | None:
+    """``$REPRO_GRID_BATCH_BLOCKS`` as an int, or ``None`` (fail open)."""
+    raw = os.environ.get(GRID_BATCH_BLOCKS_ENV)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -394,6 +410,8 @@ class _BlockRun:
 
     def finish(self) -> BlockTrace:
         self.stage.active_warps = len(self.stage_warps)
+        for stage in self.stages:
+            stage.canonicalize_order()
         streams = [warp.stream for warp in self.warps]
         return BlockTrace(
             block=self.block,
@@ -416,8 +434,9 @@ class _BlockSlot:
     """Per-block bookkeeping inside a multi-block batched run.
 
     The interpreter's statistics hooks see the same attribute surface
-    as :class:`_BlockRun` (stage, stage_warps, footprint intervals), so
-    single-block and grid runs share one accounting code path.
+    as :class:`_BlockRun` (stage, stage_warps, footprint intervals,
+    per-block stage advance), so single-block and grid runs share one
+    accounting code path.
     """
 
     __slots__ = (
@@ -430,6 +449,7 @@ class _BlockSlot:
     )
 
     track_global = _BlockRun.track_global
+    next_stage = _BlockRun.next_stage
 
     def __init__(self, block: tuple[int, int]) -> None:
         self.block = block
@@ -443,16 +463,23 @@ class _BlockSlot:
 class _GridRun:
     """Stacked execution state for a *batch* of independent blocks.
 
-    Barrier-free kernels (the engine's data-dependent worst case, e.g.
-    SpMV) have no cross-warp coupling inside a block, so whole batches
-    of blocks can ride the batched interpreter as extra warp rows: the
-    register/predicate files stack to ``(B * warps_per_block * 32,
-    regs)``, shared memory becomes one arena of bank-aligned per-block
-    slices, and block-varying specials (``ctaid``) become per-row
-    columns.  Per-block statistics, warp streams and footprints are
-    routed to :class:`_BlockSlot` entries, so the resulting
+    Whole batches of blocks ride the batched interpreter as extra warp
+    rows: the register/predicate files stack to ``(B * warps_per_block
+    * 32, regs)``, shared memory becomes one arena of bank-aligned
+    per-block slices, and block-varying specials (``ctaid``) become
+    per-row columns.  Per-block statistics, warp streams and footprints
+    are routed to :class:`_BlockSlot` entries, so the resulting
     :class:`BlockTrace` objects are bit-identical to running each block
     alone.
+
+    Barrier-synchronized kernels (matmul, cyclic reduction -- the
+    paper's headline workloads) batch too: ``bar.sync`` parks only the
+    arriving warp's rows, and a block advances its own stage the moment
+    *its* warps have all arrived (per-block barrier release, see
+    :meth:`_BatchedInterpreter._release_arrived`).  Blocks therefore
+    move through their synchronization stages asynchronously within one
+    slab; cross-block isolation needs nothing new, because shared
+    memory was already per-block arena slices.
 
     Lockstep execution interleaves blocks, so *cross-block* global
     read-after-write visibility differs from the serial block loop --
@@ -534,6 +561,8 @@ class _GridRun:
         traces = []
         for index, slot in enumerate(self.block_slots):
             slot.stage.active_warps = len(slot.stage_warps)
+            for stage in slot.stages:
+                stage.canonicalize_order()
             traces.append(
                 BlockTrace(
                     block=slot.block,
@@ -572,6 +601,11 @@ class FunctionalSimulator:
         selects the original per-warp loop, kept as the reference
         oracle for differential testing; both produce bit-identical
         :class:`BlockTrace` results for barrier-synchronized kernels.
+    grid_batch_blocks:
+        Blocks per multi-block slab in :meth:`run_blocks`.  ``None``
+        (default) reads ``$REPRO_GRID_BATCH_BLOCKS`` and falls back to
+        the class default of 32 -- the fixed heuristic the benchmark
+        job probes.
     """
 
     def __init__(
@@ -581,6 +615,7 @@ class FunctionalSimulator:
         spec: GpuSpec = GTX285,
         max_warp_instructions: int = 50_000_000,
         batched: bool = True,
+        grid_batch_blocks: int | None = None,
     ) -> None:
         validate_kernel(kernel)
         self.kernel = kernel
@@ -588,6 +623,10 @@ class FunctionalSimulator:
         self.spec = spec
         self.max_warp_instructions = max_warp_instructions
         self.batched = batched
+        if grid_batch_blocks is None:
+            grid_batch_blocks = _env_grid_batch_blocks()
+        if grid_batch_blocks is not None:
+            self.grid_batch_blocks = max(1, int(grid_batch_blocks))
         self._decoded = [
             _Decoded(instr, kernel.labels) for instr in kernel.instructions
         ]
@@ -639,7 +678,8 @@ class FunctionalSimulator:
 
     #: Blocks per grid batch: large enough to amortize per-instruction
     #: NumPy dispatch, small enough that per-block Python accounting
-    #: stays a minority cost.
+    #: stays a minority cost.  Overridable per instance via the
+    #: ``grid_batch_blocks`` kwarg or ``$REPRO_GRID_BATCH_BLOCKS``.
     grid_batch_blocks = 32
 
     def run_blocks(
@@ -649,15 +689,17 @@ class FunctionalSimulator:
     ) -> list[BlockTrace]:
         """Simulate many blocks, in order.
 
-        With the batched interpreter and a barrier-free kernel, blocks
-        are executed in grid batches of :attr:`grid_batch_blocks` --
-        every block's warps ride the same PC-grouped NumPy dispatches
-        (see :class:`_GridRun`) -- which is what makes full-grid traces
-        of data-dependent kernels (the paper's SpMV) cheap.  Kernels
-        with barriers, or the per-warp oracle, run block by block.
+        With the batched interpreter, blocks are executed in grid
+        batches of :attr:`grid_batch_blocks` -- every block's warps
+        ride the same PC-grouped NumPy dispatches (see
+        :class:`_GridRun`) -- which is what makes full-grid traces of
+        both data-dependent kernels (the paper's SpMV) and
+        barrier-synchronized ones (matmul, cyclic reduction: blocks
+        release their barriers independently) cheap.  The per-warp
+        oracle runs block by block.
         """
         self._check_launch(launch)
-        if not (self.batched and not self._has_barrier and len(blocks) > 1):
+        if not (self.batched and len(blocks) > 1):
             return [self.run_block(launch, block) for block in blocks]
         traces: list[BlockTrace] = []
         step = max(1, int(self.grid_batch_blocks))
@@ -1055,9 +1097,14 @@ class _BatchedInterpreter:
     traffic, coalescing and bank analysis, dependence distances -- is
     one NumPy dispatch per dynamic instruction per PC-group.
 
-    A :class:`_GridRun` stacks whole batches of barrier-free blocks as
-    extra warp rows (statistics route to per-block slots); a single
-    block is simply the ``num_slots == 1`` case of the same machinery.
+    A :class:`_GridRun` stacks whole batches of blocks as extra warp
+    rows (statistics route to per-block slots); a single block is
+    simply the ``num_slots == 1`` case of the same machinery.  Barriers
+    are released *per block*: ``bar.sync`` parks the arriving warps,
+    and as soon as every live warp of one block is parked that block's
+    slot advances its stage and its warps resume -- blocks in one slab
+    move through their synchronization stages independently, so
+    barrier-heavy kernels batch just like barrier-free ones.
 
     Warp semantics are purely warp-local, so the produced
     :class:`BlockTrace` is bit-identical to the per-warp oracle's for
@@ -1081,7 +1128,7 @@ class _BatchedInterpreter:
         "PC",
         "alive",
         "at_bar",
-        "bar_pending",
+        "has_bar",
         "issued",
         "stream_lens",
         "reg_producer",
@@ -1118,7 +1165,7 @@ class _BatchedInterpreter:
         # separate exit mask is consulted on the hot path.
         self.PC = np.where(exited, _INT64_MAX, 0)
         self.at_bar = np.zeros(num_warps, dtype=bool)
-        self.bar_pending = False
+        self.has_bar = sim._has_barrier
         self.issued = np.zeros(num_warps, dtype=np.int64)
         self.stream_lens = np.zeros(num_warps, dtype=np.int64)
         self.reg_producer = np.full(
@@ -1156,7 +1203,7 @@ class _BatchedInterpreter:
         with np.errstate(all="ignore"):
             while True:
                 minpc = self.PC.min(axis=1)
-                if self.bar_pending:
+                if self.has_bar:
                     minpc = np.where(self.at_bar, _INT64_MAX, minpc)
                 top = int(minpc.min())
                 if top >= num_instructions:
@@ -1164,13 +1211,14 @@ class _BatchedInterpreter:
                         raise SimulationError(
                             "execution ran past the end of the kernel"
                         )
-                    if not self.bar_pending:
-                        return
-                    self.at_bar[:] = False
-                    self.bar_pending = False
-                    self.slots[0].next_stage()
-                    self._unmarked = set(self.all_warps)
-                    continue
+                    if self.at_bar.any():  # pragma: no cover - releases
+                        # fire the moment a block's last warp arrives,
+                        # so a fully parked grid cannot be reached.
+                        raise SimulationError(
+                            "warps parked at a barrier with no runnable "
+                            "peers (internal error)"
+                        )
+                    return
                 runnable = minpc != _INT64_MAX
                 self.issued += runnable
                 # A warp's issue count never exceeds the step count, so
@@ -1217,18 +1265,19 @@ class _BatchedInterpreter:
             self._emit(ws, decoded, EV_ARITH, decoded.type_index, 0, None)
             self.PC = np.where(mask, _INT64_MAX, self.PC)
             self.alive = self.alive & ~mask
+            if self.has_bar:
+                # A warp exiting in full may leave its block with every
+                # remaining live warp parked at a barrier: release it.
+                self._release_arrived(ws)
             return
         if kind == OpKind.BARRIER:
-            if self.num_slots > 1:  # pragma: no cover - guarded by caller
-                raise SimulationError(
-                    "barrier inside a multi-block batch (internal error)"
-                )
             divergent = group & (mask != self.alive).any(axis=1)
             if divergent.any():
-                warp = int(np.flatnonzero(divergent)[0])
+                row = int(np.flatnonzero(divergent)[0])
+                slot = self.slots[row // self.wpb]
                 raise DivergenceError(
                     "bar.sync reached by a divergent warp "
-                    f"(warp {warp}, pc {pc})"
+                    f"(block {slot.block}, warp {row % self.wpb}, pc {pc})"
                 )
             self._record_issue(decoded, ws)
             for w in ws:
@@ -1236,7 +1285,7 @@ class _BatchedInterpreter:
             self.stream_lens += group
             self.PC = np.where(mask, pc + 1, self.PC)
             self.at_bar |= group
-            self.bar_pending = True
+            self._release_arrived(ws)
             return
 
         active = mask
@@ -1256,6 +1305,37 @@ class _BatchedInterpreter:
 
         self._execute(ws, decoded, active)
         self.PC = np.where(mask, pc + 1, self.PC)
+
+    def _release_arrived(self, ws) -> None:
+        """Per-block barrier release: advance fully arrived blocks.
+
+        A block is released the moment every one of its warp rows is
+        either parked at the barrier or fully exited (CUDA's
+        ``bar.sync`` counts only live warps) -- its slot's stage
+        advances and its warps resume on the next step, independently
+        of every other block in the slab.  Only the blocks touched by
+        the current PC-group (``ws``) can newly satisfy that condition,
+        so only those are checked.
+        """
+        at_bar = self.at_bar
+        if not at_bar.any():
+            return
+        wpb = self.wpb
+        if ws is self.all_warps:
+            candidates = range(self.num_slots)
+        else:
+            candidates = sorted({w // wpb for w in ws})
+        for index in candidates:
+            lo = index * wpb
+            rows = slice(lo, lo + wpb)
+            parked = at_bar[rows]
+            if not parked.any():
+                continue
+            if not (parked | ~self.alive[rows].any(axis=1)).all():
+                continue  # some live warp has not arrived yet
+            at_bar[rows] = False
+            self.slots[index].next_stage()
+            self._unmarked.update(range(lo, lo + wpb))
 
     # ------------------------------------------------------------------
     # instruction execution

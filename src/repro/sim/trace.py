@@ -106,6 +106,27 @@ class StageStats:
                 mine[gran] = (old_txn + txn, old_bytes + nbytes)
         self.active_warps = max(self.active_warps, other.active_warps)
 
+    def canonicalize_order(self) -> None:
+        """Rewrite the open-keyed mappings in sorted-key order.
+
+        Which interpreter schedule first touched an opcode or
+        granularity decides dict *insertion* order, which pickles
+        observably even when the contents are equal.  Finalized traces
+        canonicalize so that equal stages are byte-identical wherever
+        they were produced (the differential gates' pickled-byte
+        comparisons rely on this); ``instr_by_type`` already has a
+        fixed key order by construction.
+        """
+        self.instructions = Counter(dict(sorted(self.instructions.items())))
+        self.global_transactions = dict(
+            sorted(self.global_transactions.items())
+        )
+        self.global_bytes = dict(sorted(self.global_bytes.items()))
+        self.global_by_array = {
+            array: dict(sorted(per_gran.items()))
+            for array, per_gran in sorted(self.global_by_array.items())
+        }
+
     def canonical(self) -> tuple:
         """Order-independent tuple form (fingerprinting, equality)."""
         return (
