@@ -1,5 +1,6 @@
 """Case-study applications: dense MM, tridiagonal solver, SpMV,
-tree reduction, and a 3-point Jacobi stencil."""
+tree reduction, a 3-point Jacobi stencil (ghost-cell and guarded
+boundary layouts), and a work-efficient Blelloch prefix scan."""
 
 from repro.apps.common import AppRun, execute, kernel_resources
 from repro.apps.matmul import (
@@ -14,6 +15,12 @@ from repro.apps.reduction import (
     reduction_stage_count,
     run_reduction,
     validate_reduction,
+)
+from repro.apps.scan import (
+    build_scan_kernel,
+    run_scan,
+    scan_stage_count,
+    validate_scan,
 )
 from repro.apps.spmv import (
     FORMATS,
@@ -48,6 +55,7 @@ __all__ = [
     "build_ell_kernel",
     "build_matmul_kernel",
     "build_reduction_kernel",
+    "build_scan_kernel",
     "build_stencil_kernel",
     "bytes_per_entry",
     "execute",
@@ -56,15 +64,18 @@ __all__ = [
     "qcd_like",
     "random_blocked",
     "reduction_stage_count",
+    "scan_stage_count",
     "run_cr",
     "run_matmul",
     "run_reduction",
+    "run_scan",
     "run_spmv",
     "run_stencil",
     "thomas_solve",
     "validate_cr",
     "validate_matmul",
     "validate_reduction",
+    "validate_scan",
     "validate_spmv",
     "validate_stencil",
 ]

@@ -35,6 +35,7 @@ from repro.hw.engine import (
     simulate_clusters,
 )
 from repro.sim.trace import BlockTrace
+from repro.tune import resolve as tune_resolve
 from repro.util import spec_fingerprint
 
 
@@ -77,12 +78,15 @@ class HardwareGpu:
     cache_dir:
         Directory for the on-disk :class:`MeasuredRun` memo cache;
         ``None`` disables memoization.
+    min_parallel_events:
+        Serial/pool crossover: measurements whose queues replay fewer
+        events than this stay serial even with ``workers > 1`` (results
+        are bit-identical either way; this is purely wall-clock).
+        ``None`` resolves through :func:`repro.tune.resolve` --
+        ``$REPRO_TUNE_MIN_PARALLEL_EVENTS``, then the machine's
+        persisted tuning profile (``repro tune run``), then the
+        built-in default.
     """
-
-    #: Pools only pay off for real work: measurements whose queues
-    #: replay fewer events than this stay serial even with workers > 1
-    #: (results are bit-identical either way; this is purely wall-clock).
-    min_parallel_events = 50_000
 
     def __init__(
         self,
@@ -90,10 +94,17 @@ class HardwareGpu:
         config: HwConfig | None = None,
         workers: int = 0,
         cache_dir: str | None = None,
+        min_parallel_events: int | None = None,
     ) -> None:
         self.spec = spec
         self.config = config or HwConfig()
         self.workers = max(0, int(workers))
+        self.min_parallel_events = tune_resolve(
+            "min_parallel_events",
+            kwarg=min_parallel_events,
+            spec=spec,
+            workers=self.workers,
+        )
         self.cache = (
             MeasuredRunCache(cache_dir) if cache_dir is not None else None
         )

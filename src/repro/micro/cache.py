@@ -22,18 +22,32 @@ from repro.micro.calibration import (
     calibrate,
 )
 from repro.micro.instruction import DEFAULT_WARP_COUNTS
-from repro.util import atomic_write_bytes, spec_fingerprint
+from repro.util import (
+    CACHE_DIR_ENV,
+    atomic_write_bytes,
+    spec_fingerprint,
+)
+from repro.util import default_cache_dir as _default_cache_root
 
-#: Environment variable overriding the cache root (tests, CI).
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+__all__ = [
+    "CACHE_DIR_ENV",
+    "default_cache_dir",
+    "default_calibration_path",
+    "default_measure_cache_dir",
+    "default_trace_cache_dir",
+    "load_or_calibrate",
+    "save_calibration",
+]
 
 
 def default_cache_dir() -> Path:
-    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    override = os.environ.get(CACHE_DIR_ENV)
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "repro"
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+
+    The resolution itself lives in :func:`repro.util.default_cache_dir`
+    (shared with the tuning-profile store); this wrapper keeps the
+    historical :class:`~pathlib.Path` return type.
+    """
+    return Path(_default_cache_root())
 
 
 def default_calibration_path() -> Path:

@@ -522,8 +522,10 @@ class SimulationEngine:
         kept for differential benchmarks and tests.
     grid_batch_blocks:
         Blocks per multi-block interpreter slab (and per worker chunk).
-        ``None`` defers to ``$REPRO_GRID_BATCH_BLOCKS``, then to the
-        simulator's default of 32.
+        ``None`` defers to :func:`repro.tune.resolve`:
+        ``$REPRO_TUNE_GRID_BATCH_BLOCKS`` /
+        ``$REPRO_GRID_BATCH_BLOCKS``, then the machine's persisted
+        tuning profile, then the built-in default.
     """
 
     def __init__(

@@ -42,7 +42,6 @@ barrier-synchronized communication behaves identically in both modes).
 from __future__ import annotations
 
 import bisect
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,6 +68,7 @@ from repro.memory.coalescing import (
     coalesce_warp_multi,
 )
 from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.tune import resolve as tune_resolve
 from repro.sim.trace import (
     EV_ARITH,
     EV_ARITH_SHARED,
@@ -88,19 +88,9 @@ from repro.sim.trace import (
 _MAD_OPS = (Opcode.FMAD, Opcode.DFMA)
 
 #: Environment override for :attr:`FunctionalSimulator.grid_batch_blocks`
-#: (the engine kwarg takes precedence; invalid values fail open).
+#: (historical alias; resolution -- kwarg > env > tuning profile >
+#: built-in default -- lives in :func:`repro.tune.resolve`).
 GRID_BATCH_BLOCKS_ENV = "REPRO_GRID_BATCH_BLOCKS"
-
-
-def _env_grid_batch_blocks() -> int | None:
-    """``$REPRO_GRID_BATCH_BLOCKS`` as an int, or ``None`` (fail open)."""
-    raw = os.environ.get(GRID_BATCH_BLOCKS_ENV)
-    if not raw:
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        return None
 
 
 @dataclass(frozen=True)
@@ -603,9 +593,10 @@ class FunctionalSimulator:
         :class:`BlockTrace` results for barrier-synchronized kernels.
     grid_batch_blocks:
         Blocks per multi-block slab in :meth:`run_blocks`.  ``None``
-        (default) reads ``$REPRO_GRID_BATCH_BLOCKS`` and falls back to
-        the class default of 32 -- the fixed heuristic the benchmark
-        job probes.
+        (default) resolves through :func:`repro.tune.resolve`:
+        ``$REPRO_TUNE_GRID_BATCH_BLOCKS`` /
+        ``$REPRO_GRID_BATCH_BLOCKS``, then the machine's persisted
+        tuning profile (``repro tune run``), then the built-in default.
     """
 
     def __init__(
@@ -623,10 +614,9 @@ class FunctionalSimulator:
         self.spec = spec
         self.max_warp_instructions = max_warp_instructions
         self.batched = batched
-        if grid_batch_blocks is None:
-            grid_batch_blocks = _env_grid_batch_blocks()
-        if grid_batch_blocks is not None:
-            self.grid_batch_blocks = max(1, int(grid_batch_blocks))
+        self.grid_batch_blocks = tune_resolve(
+            "grid_batch_blocks", kwarg=grid_batch_blocks, spec=spec
+        )
         self._decoded = [
             _Decoded(instr, kernel.labels) for instr in kernel.instructions
         ]
@@ -675,12 +665,6 @@ class FunctionalSimulator:
             raise LaunchError("no blocks selected")
         traces = self.run_blocks(launch, chosen)
         return aggregate_blocks(traces, scale_to_blocks=launch.num_blocks)
-
-    #: Blocks per grid batch: large enough to amortize per-instruction
-    #: NumPy dispatch, small enough that per-block Python accounting
-    #: stays a minority cost.  Overridable per instance via the
-    #: ``grid_batch_blocks`` kwarg or ``$REPRO_GRID_BATCH_BLOCKS``.
-    grid_batch_blocks = 32
 
     def run_blocks(
         self,

@@ -1,0 +1,113 @@
+"""Measured-cost auto-tuning: profiles, tuners, and the trend reporter.
+
+The package replaces the engine's fixed heuristics with measured,
+persisted per-machine tuning profiles (see :mod:`repro.tune.profile`
+for the precedence rules).  Import surface:
+
+* :func:`resolve` / :func:`resolve_with_source` -- the one resolution
+  helper every consumption site (``HardwareGpu``,
+  ``FunctionalSimulator``, ``SimulationEngine``) goes through;
+* :class:`TuningProfile`, :func:`load_profile`, :func:`save_profile`,
+  :func:`default_tune_dir` -- the persisted profile store;
+* :func:`autotune` -- run both tuners and build a fresh profile
+  (imports the measurement modules lazily; they pull in the simulator
+  stack, which this package root must not do because the simulators
+  import :mod:`repro.tune` themselves).
+
+The tuners live in :mod:`repro.tune.events` (serial/pool crossover) and
+:mod:`repro.tune.slab` (grid-batch slab width); the perf-trajectory
+reporter in :mod:`repro.tune.trend`.
+"""
+
+from __future__ import annotations
+
+from repro.tune.profile import (
+    BUILTIN_DEFAULTS,
+    ENV_OVERRIDES,
+    PARAM_FLOORS,
+    TUNE_DIR_ENV,
+    TUNE_PROFILE_VERSION,
+    TuneProfileCache,
+    TuningProfile,
+    default_tune_dir,
+    load_profile,
+    machine_fingerprint,
+    new_profile,
+    profile_key,
+    resolve,
+    resolve_with_source,
+    save_profile,
+)
+
+__all__ = [
+    "BUILTIN_DEFAULTS",
+    "ENV_OVERRIDES",
+    "PARAM_FLOORS",
+    "TUNE_DIR_ENV",
+    "TUNE_PROFILE_VERSION",
+    "TuneProfileCache",
+    "TuningProfile",
+    "autotune",
+    "default_tune_dir",
+    "load_profile",
+    "machine_fingerprint",
+    "new_profile",
+    "profile_key",
+    "resolve",
+    "resolve_with_source",
+    "save_profile",
+]
+
+
+def autotune(
+    spec=None,
+    workers_counts: tuple[int, ...] = (2, 4, 8),
+    slab_candidates: tuple[int, ...] | None = None,
+    slab_repeats: int = 2,
+    events_repeats: int = 3,
+    save: bool = True,
+    directory=None,
+) -> TuningProfile:
+    """Measure both tuners and build (optionally persist) a profile.
+
+    The heavyweight imports happen here, not at package import time,
+    because ``sim``/``hw`` import :mod:`repro.tune` for :func:`resolve`.
+    """
+    from repro.arch.specs import GTX285
+    from repro.tune.events import tune_min_parallel_events
+    from repro.tune.slab import DEFAULT_CANDIDATES, tune_grid_batch_blocks
+    from repro.util import spec_fingerprint
+
+    spec = GTX285 if spec is None else spec
+    cost, crossovers = tune_min_parallel_events(
+        spec, workers_counts=workers_counts, repeats=events_repeats
+    )
+    slab = tune_grid_batch_blocks(
+        candidates=(
+            DEFAULT_CANDIDATES if slab_candidates is None else slab_candidates
+        ),
+        repeats=slab_repeats,
+        spec=spec,
+    )
+    profile = new_profile(
+        spec_fp=spec_fingerprint(spec),
+        min_parallel_events=crossovers,
+        grid_batch_blocks=slab.by_warps,
+        default_grid_batch_blocks=slab.default,
+        # The narrowest measured pool has the largest crossover; using
+        # it as the width-agnostic default keeps unknown widths from
+        # paying pool startup they cannot amortize.
+        default_min_parallel_events=(
+            max(crossovers.values()) if crossovers else None
+        ),
+        meta={
+            "seconds_per_event": cost.seconds_per_event,
+            "pool_startup_seconds": cost.pool_startup_seconds,
+            "probe_events": cost.probe_events,
+            "probe_seconds": cost.probe_seconds,
+            "slab_timings": slab.timings,
+        },
+    )
+    if save:
+        save_profile(profile, directory=directory)
+    return profile

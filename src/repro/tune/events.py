@@ -1,0 +1,172 @@
+"""Measured per-event cost model for the timing layer's pool crossover.
+
+``HardwareGpu`` keeps a measurement serial when its queues replay fewer
+events than ``min_parallel_events``: below that point, process-pool
+startup costs more wall-clock than the parallel replay saves.  The
+historical constant (50 000) encoded one machine's costs forever; this
+module *measures* both sides on small probe workloads and computes the
+crossover per pool width:
+
+* ``seconds_per_event`` -- wall-clock per replayed event, timed by
+  running a real :class:`~repro.hw.cluster.ClusterSimulator` over a
+  probe block's event streams (the same code path
+  ``HardwareGpu.measure`` fans out);
+* ``pool_startup_seconds`` -- the fixed cost of spinning up the shared
+  process pool (:func:`repro.pool.map_tasks`) for a trivial task set.
+
+With ``w`` workers, pooling ``E`` events saves roughly
+``seconds_per_event * E * (1 - 1/w)`` and costs
+``pool_startup_seconds``, so the measured crossover is their ratio
+(:meth:`EventCostModel.crossover_events`).  Results are bit-identical
+either way -- the crossover is purely a wall-clock decision -- so a bad
+measurement can only waste time, never change an answer.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec, GTX285
+from repro.hw.cluster import ClusterSimulator
+from repro.hw.config import HwConfig
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Imm
+from repro.pool import map_tasks
+from repro.sim.functional import FunctionalSimulator, LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.tune.profile import BUILTIN_DEFAULTS
+
+#: Probe sizing: enough replayed events to swamp timer resolution while
+#: keeping one probe run in the low tens of milliseconds.
+PROBE_TARGET_EVENTS = 30_000
+
+#: Inner-loop trips of the probe kernel (events per warp ~ 3 * inner).
+PROBE_INNER = 32
+
+#: Threads per probe block (2 warps -- the paper's small-block style).
+PROBE_THREADS = 64
+
+
+@dataclass(frozen=True)
+class EventCostModel:
+    """Measured costs governing the serial/pool crossover.
+
+    ``probe_events``/``probe_seconds`` record the raw measurement the
+    per-event cost came from (surfaced by ``repro tune show``).
+    """
+
+    seconds_per_event: float
+    pool_startup_seconds: float
+    probe_events: int
+    probe_seconds: float
+
+    def crossover_events(self, workers: int) -> int:
+        """Events above which a ``workers``-wide pool beats serial.
+
+        ``workers <= 1`` never builds a pool, so the crossover is moot
+        and the built-in default is returned unchanged; degenerate
+        measurements (zero or negative savings) likewise fail open to
+        the default rather than inventing a crossover.
+        """
+        if workers <= 1:
+            return BUILTIN_DEFAULTS["min_parallel_events"]
+        saving = self.seconds_per_event * (1.0 - 1.0 / workers)
+        if saving <= 0.0:
+            return BUILTIN_DEFAULTS["min_parallel_events"]
+        return max(1, math.ceil(self.pool_startup_seconds / saving))
+
+
+def _probe_work(spec: GpuSpec):
+    """Event streams of one probe block (a small streaming kernel)."""
+    n = PROBE_THREADS
+    gmem = GlobalMemory()
+    buf = gmem.alloc(n, "probe")
+    b = KernelBuilder("tune_probe", params=("buf",))
+    addr = b.reg()
+    b.imad(addr, b.tid, Imm(4), b.param("buf"))
+    acc = b.reg()
+    b.mov(acc, Imm(0.0))
+    v = b.reg()
+    with b.counted_loop(PROBE_INNER):
+        b.ldg(v, addr)
+        b.fmad(acc, v, v, acc)
+        b.fmad(acc, v, acc, acc)
+    b.stg(addr, acc)
+    b.exit()
+    launch = LaunchConfig(
+        grid=(1, 1), block_threads=PROBE_THREADS, params={"buf": buf}
+    )
+    trace = FunctionalSimulator(
+        b.build(), gmem=gmem, spec=spec, grid_batch_blocks=1
+    ).run_block(launch, (0, 0))
+    return trace.warp_streams
+
+
+def _noop_task(value):
+    """Module-level (picklable) trivial pool task."""
+    return value
+
+
+def measure_event_costs(
+    spec: GpuSpec = GTX285,
+    config: HwConfig | None = None,
+    repeats: int = 3,
+    pool_workers: int = 2,
+) -> EventCostModel:
+    """Time the two sides of the crossover on this machine.
+
+    Both measurements take the best of ``repeats`` runs (minimum: the
+    least-interfered sample estimates the intrinsic cost).
+    """
+    repeats = max(1, int(repeats))
+    work = _probe_work(spec)
+    events_per_block = sum(len(stream) for stream in work)
+    per_sm = max(1, PROBE_TARGET_EVENTS // max(1, events_per_block * 3))
+    queues = [[work] * per_sm for _ in range(spec.sms_per_cluster)]
+
+    best_seconds = math.inf
+    events = 0
+    for _ in range(repeats):
+        simulator = ClusterSimulator(spec, config, use_cache=False)
+        started = time.perf_counter()
+        result = simulator.run([list(q) for q in queues], per_sm)
+        elapsed = time.perf_counter() - started
+        best_seconds = min(best_seconds, elapsed)
+        events = result.events
+
+    startup = math.inf
+    tasks = list(range(max(2, pool_workers)))
+    for _ in range(repeats):
+        started = time.perf_counter()
+        map_tasks(
+            tasks,
+            max(2, pool_workers),
+            serial_fn=_noop_task,
+            worker_fn=_noop_task,
+        )
+        startup = min(startup, time.perf_counter() - started)
+
+    return EventCostModel(
+        seconds_per_event=best_seconds / max(1, events),
+        pool_startup_seconds=startup,
+        probe_events=events,
+        probe_seconds=best_seconds,
+    )
+
+
+def tune_min_parallel_events(
+    spec: GpuSpec = GTX285,
+    config: HwConfig | None = None,
+    workers_counts: tuple[int, ...] = (2, 4, 8),
+    repeats: int = 3,
+) -> tuple[EventCostModel, dict]:
+    """Measured crossovers per pool width, for the tuning profile."""
+    cost = measure_event_costs(spec, config, repeats=repeats)
+    crossovers = {
+        int(w): cost.crossover_events(int(w))
+        for w in sorted(set(workers_counts))
+        if int(w) > 1
+    }
+    return cost, crossovers

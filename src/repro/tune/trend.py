@@ -1,0 +1,263 @@
+"""Perf-trajectory trend reporter over ``BENCH_engine_smoke.json`` files.
+
+CI has recorded a machine-readable measurement of every engine gate per
+commit (``benchmarks/engine_smoke.py --check`` writes the
+``engine-smoke-perf`` artifact) since PR 4, but nothing *compared*
+trajectories across commits.  This module closes that loop: it ingests
+any number of per-commit JSON artifacts, orders them deterministically
+(recorded timestamp, then label), extracts one value per gate metric,
+and emits a JSON report plus a markdown table flagging per-gate
+regressions beyond a threshold (default 20 %).
+
+The reporter is a pure function of its input files -- no clocks, no
+environment -- so a unit test over fixture JSONs pins the exact report
+(the acceptance criterion) and CI reruns are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+#: Accepted payload schema prefix (see engine_smoke.write_perf_json).
+SCHEMA_PREFIX = "engine_smoke/"
+
+#: Report schema stamp.
+REPORT_SCHEMA = "tune_trend/1"
+
+#: Default regression threshold: warn on >20 % direction-adjusted drops.
+DEFAULT_THRESHOLD = 0.20
+
+#: Gate metrics: (dotted path into the payload, higher_is_better).
+GATE_METRICS: tuple[tuple[str, bool], ...] = (
+    ("engine.speedup", True),
+    ("engine.engine_seconds", False),
+    ("timing.speedup", True),
+    ("functional.speedup", True),
+    ("functional.batched_ips", True),
+    ("barrier.matmul.speedup", True),
+    ("barrier.matmul.batched_ips", True),
+    ("barrier.cyclic_reduction.speedup", True),
+    ("barrier.cyclic_reduction.batched_ips", True),
+)
+
+#: Dotted paths of the bit-identity flags each payload carries.
+IDENTITY_FLAGS: tuple[str, ...] = (
+    "engine.identical",
+    "timing.identical",
+    "functional.identical",
+    "barrier.matmul.identical",
+    "barrier.cyclic_reduction.identical",
+)
+
+
+@dataclass(frozen=True)
+class TrendEntry:
+    """One ingested per-commit measurement."""
+
+    label: str  # file basename (CI names these per commit)
+    timestamp: str
+    values: dict  # metric path -> float
+    identical: bool  # every gate's bit-identity flag held
+
+
+def _dig(payload: dict, path: str):
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def collect_files(inputs: list) -> list[str]:
+    """Expand files/directories into a sorted list of JSON paths.
+
+    Directories contribute their (non-recursive) ``*.json`` members in
+    name order; explicit files pass through.  Duplicates collapse.
+    """
+    paths: list[str] = []
+    for item in inputs:
+        item = os.fspath(item)
+        if os.path.isdir(item):
+            paths.extend(
+                os.path.join(item, name)
+                for name in sorted(os.listdir(item))
+                if name.endswith(".json")
+            )
+        else:
+            paths.append(item)
+    seen: set[str] = set()
+    unique = []
+    for path in paths:
+        key = os.path.abspath(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def load_entry(path: str) -> TrendEntry | None:
+    """Parse one artifact; ``None`` for unreadable/foreign files."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    schema = payload.get("schema", "")
+    if not isinstance(schema, str) or not schema.startswith(SCHEMA_PREFIX):
+        return None
+    values: dict = {}
+    for metric, _ in GATE_METRICS:
+        value = _dig(payload, metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values[metric] = float(value)
+    identical = all(_dig(payload, flag) is True for flag in IDENTITY_FLAGS)
+    return TrendEntry(
+        label=os.path.basename(path),
+        timestamp=str(payload.get("timestamp", "")),
+        values=values,
+        identical=identical,
+    )
+
+
+def load_entries(inputs: list) -> list[TrendEntry]:
+    """Ingest and deterministically order all artifacts."""
+    entries = [load_entry(path) for path in collect_files(inputs)]
+    return sorted(
+        (e for e in entries if e is not None),
+        key=lambda e: (e.timestamp, e.label),
+    )
+
+
+def build_report(
+    entries: list[TrendEntry], threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """The full trajectory report as a JSON-serializable dict.
+
+    Per gate: the ordered series, first/previous/latest values, the
+    direction-adjusted relative change of latest vs previous, and a
+    regression flag when that change exceeds ``threshold`` in the bad
+    direction.  A latest run with any failed bit-identity flag is
+    reported as the pseudo-gate ``bit_identity``.
+    """
+    gates: dict = {}
+    regressions: list[str] = []
+    for metric, higher_is_better in GATE_METRICS:
+        series = [entry.values.get(metric) for entry in entries]
+        present = [v for v in series if v is not None]
+        first = present[0] if present else None
+        # "latest" is strictly the NEWEST run's value: a gate that
+        # vanished from the newest artifact must read as missing, not
+        # silently inherit an older run's number.
+        latest = series[-1] if series else None
+        earlier = [v for v in series[:-1] if v is not None]
+        previous = earlier[-1] if earlier else None
+        delta = None
+        regressed = False
+        if latest is not None and previous not in (None, 0):
+            delta = (latest - previous) / abs(previous)
+            change = delta if higher_is_better else -delta
+            regressed = change < -threshold
+        if regressed:
+            regressions.append(metric)
+        gates[metric] = {
+            "series": series,
+            "first": first,
+            "previous": previous,
+            "latest": latest,
+            "delta_vs_previous": delta,
+            "higher_is_better": higher_is_better,
+            "regressed": regressed,
+        }
+    identity_ok = entries[-1].identical if entries else True
+    if not identity_ok:
+        regressions.append("bit_identity")
+    return {
+        "schema": REPORT_SCHEMA,
+        "threshold": threshold,
+        "runs": [
+            {"label": e.label, "timestamp": e.timestamp} for e in entries
+        ],
+        "gates": gates,
+        "latest_bit_identity_ok": identity_ok,
+        "regressions": regressions,
+    }
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.2f}"
+
+
+def _fmt_delta(delta) -> str:
+    return "-" if delta is None else f"{delta * 100:+.1f}%"
+
+
+def render_markdown(report: dict) -> str:
+    """The report as a markdown document (the CI artifact)."""
+    runs = report["runs"]
+    lines = ["# engine_smoke perf trajectory", ""]
+    if not runs:
+        lines.append("No engine_smoke measurements found.")
+        return "\n".join(lines) + "\n"
+    span = f"`{runs[0]['label']}` ({runs[0]['timestamp']})"
+    if len(runs) > 1:
+        span += f" -> `{runs[-1]['label']}` ({runs[-1]['timestamp']})"
+    lines.append(f"{len(runs)} run(s): {span}")
+    lines.append("")
+    lines.append("| gate | first | previous | latest | delta vs prev | status |")
+    lines.append("|---|---:|---:|---:|---:|---|")
+    for metric, _ in GATE_METRICS:
+        gate = report["gates"][metric]
+        status = "**REGRESSION**" if gate["regressed"] else "ok"
+        if gate["latest"] is None:
+            status = "missing"
+        lines.append(
+            "| {metric} | {first} | {previous} | {latest} | {delta} | "
+            "{status} |".format(
+                metric=metric,
+                first=_fmt(gate["first"]),
+                previous=_fmt(gate["previous"]),
+                latest=_fmt(gate["latest"]),
+                delta=_fmt_delta(gate["delta_vs_previous"]),
+                status=status,
+            )
+        )
+    lines.append("")
+    if not report["latest_bit_identity_ok"]:
+        lines.append(
+            "**Bit-identity FAILED in the latest run** -- at least one "
+            "gate's `identical` flag is false."
+        )
+        lines.append("")
+    flagged = [r for r in report["regressions"] if r != "bit_identity"]
+    if flagged:
+        lines.append(
+            "WARNING: {count} gate(s) regressed more than {pct:.0f}%: "
+            "{names}".format(
+                count=len(flagged),
+                pct=report["threshold"] * 100,
+                names=", ".join(flagged),
+            )
+        )
+    else:
+        lines.append(
+            "No gate regressed more than "
+            f"{report['threshold'] * 100:.0f}% vs the previous run."
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trend_report(
+    inputs: list, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[dict, str]:
+    """One-call entry point: ``(report dict, markdown text)``."""
+    report = build_report(load_entries(inputs), threshold=threshold)
+    return report, render_markdown(report)

@@ -14,6 +14,23 @@ CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 #: Default per-directory cache budget (bytes): 1 GiB.
 DEFAULT_CACHE_MAX_BYTES = 1 << 30
 
+#: Environment variable overriding the cache root (tests, CI).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+
+    Lives here, dependency-free, because every on-disk store keys off
+    it: calibration tables (micro), trace/measured memo caches, and the
+    tuning profiles (:mod:`repro.tune`) -- the last of which is read by
+    modules (``sim``, ``hw``) that must not import :mod:`repro.micro`.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
 
 def spec_fingerprint(spec) -> str:
     """Content hash of an architecture spec (cache invalidation key).

@@ -206,7 +206,9 @@ class TestBarrierGridBatching:
 
 
 class TestGridBatchBlocksOverride:
-    """Satellite: the slab-width heuristic is probe-able."""
+    """Satellite: the slab width resolves through repro.tune (kwarg >
+    env > profile > built-in default; see test_tune_resolve for the
+    full precedence matrix)."""
 
     def _kernel(self):
         b = KernelBuilder("k")
@@ -215,8 +217,12 @@ class TestGridBatchBlocksOverride:
         b.exit()
         return b.build()
 
-    def test_default_is_class_attribute(self):
-        assert FunctionalSimulator(self._kernel()).grid_batch_blocks == 32
+    def test_default_resolves_to_builtin(self):
+        from repro.tune import BUILTIN_DEFAULTS
+
+        sim = FunctionalSimulator(self._kernel())
+        assert sim.grid_batch_blocks == BUILTIN_DEFAULTS["grid_batch_blocks"]
+        assert sim.grid_batch_blocks == 32
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv(GRID_BATCH_BLOCKS_ENV, "7")
@@ -228,8 +234,12 @@ class TestGridBatchBlocksOverride:
         assert sim.grid_batch_blocks == 4
 
     def test_invalid_env_fails_open(self, monkeypatch):
+        import pytest
+
         monkeypatch.setenv(GRID_BATCH_BLOCKS_ENV, "not-a-number")
-        assert FunctionalSimulator(self._kernel()).grid_batch_blocks == 32
+        with pytest.warns(RuntimeWarning):
+            sim = FunctionalSimulator(self._kernel())
+        assert sim.grid_batch_blocks == 32
 
     def test_floor_of_one(self):
         sim = FunctionalSimulator(self._kernel(), grid_batch_blocks=0)

@@ -1,0 +1,149 @@
+"""Measured tuners: the per-event cost model's crossover arithmetic,
+the slab tuner's deterministic selection, and one end-to-end autotune
+producing a consumable profile."""
+
+import math
+
+import pytest
+
+from repro.tune import autotune, load_profile, resolve
+from repro.tune.events import (
+    EventCostModel,
+    measure_event_costs,
+    tune_min_parallel_events,
+)
+from repro.tune.profile import BUILTIN_DEFAULTS
+from repro.tune.slab import (
+    SlabWorkload,
+    _streaming_workload,
+    measure_slab_timings,
+    pick_widths,
+    tune_grid_batch_blocks,
+)
+
+
+class TestEventCostModel:
+    def test_crossover_is_startup_over_savings(self):
+        model = EventCostModel(
+            seconds_per_event=2e-6,
+            pool_startup_seconds=0.01,
+            probe_events=1000,
+            probe_seconds=0.002,
+        )
+        # With 2 workers, each event saves half its serial cost.
+        assert model.crossover_events(2) == math.ceil(0.01 / 1e-6)
+        # Wider pools save more per event: smaller crossover.
+        assert model.crossover_events(8) < model.crossover_events(2)
+
+    def test_serial_context_returns_builtin_default(self):
+        model = EventCostModel(2e-6, 0.01, 1000, 0.002)
+        assert (
+            model.crossover_events(1)
+            == BUILTIN_DEFAULTS["min_parallel_events"]
+        )
+
+    def test_degenerate_measurement_fails_open(self):
+        model = EventCostModel(0.0, 0.01, 1000, 0.0)
+        assert (
+            model.crossover_events(4)
+            == BUILTIN_DEFAULTS["min_parallel_events"]
+        )
+
+    def test_measured_costs_are_positive(self):
+        cost = measure_event_costs(repeats=1)
+        assert cost.seconds_per_event > 0
+        assert cost.pool_startup_seconds > 0
+        assert cost.probe_events > 0
+
+    def test_tuned_crossovers_per_width(self):
+        cost, crossovers = tune_min_parallel_events(
+            workers_counts=(2, 4, 1), repeats=1
+        )
+        assert set(crossovers) == {2, 4}  # width 1 never pools
+        assert all(v >= 1 for v in crossovers.values())
+        assert crossovers[4] <= crossovers[2]
+
+
+class TestSlabSelection:
+    def test_pick_widths_minimizes_group_totals(self):
+        timings = {
+            "a2w": {8: 0.4, 16: 0.2, 32: 0.3},
+            "b2w": {8: 0.4, 16: 0.3, 32: 0.2},
+            "c4w": {8: 0.1, 16: 0.2, 32: 0.3},
+        }
+        warps_of = {"a2w": 2, "b2w": 2, "c4w": 4}
+        by_warps, default = pick_widths(timings, warps_of)
+        assert by_warps == {2: 16, 4: 8}
+        assert default in (8, 16)  # geometric-mean compromise
+
+    def test_pick_widths_tie_breaks_to_smaller_width(self):
+        timings = {"a2w": {8: 0.2, 32: 0.2}}
+        by_warps, default = pick_widths(timings, {"a2w": 2})
+        assert by_warps == {2: 8}
+        assert default == 8
+
+    def test_pick_widths_empty_fails_open_to_builtin(self):
+        by_warps, default = pick_widths({}, {})
+        assert by_warps == {}
+        assert default == BUILTIN_DEFAULTS["grid_batch_blocks"]
+
+    def test_measured_grid_covers_all_candidates(self):
+        workload = _streaming_workload(num_blocks=8, block_threads=32)
+        timings, warps_of = measure_slab_timings(
+            [workload], candidates=(2, 4), repeats=1
+        )
+        assert set(timings[workload.name]) == {2, 4}
+        assert warps_of[workload.name] == 1
+        assert all(v > 0 for v in timings[workload.name].values())
+
+    def test_tuner_end_to_end_on_tiny_workload(self):
+        workload = _streaming_workload(num_blocks=6, block_threads=32)
+        tuning = tune_grid_batch_blocks(
+            [workload], candidates=(2, 4), repeats=1
+        )
+        assert tuning.default in (2, 4)
+        assert tuning.by_warps.get(1) in (2, 4)
+
+    def test_workload_dataclass_shape(self):
+        workload = _streaming_workload(num_blocks=4, block_threads=64)
+        assert isinstance(workload, SlabWorkload)
+        assert workload.warps_per_block == 2
+        assert not workload.barriered
+
+
+class TestAutotuneEndToEnd:
+    @pytest.fixture()
+    def tiny_profile(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "tune"))
+        # Shrink everything: this exercises wiring, not measurement
+        # quality.
+        import repro.tune.slab as slab_mod
+
+        monkeypatch.setattr(
+            slab_mod,
+            "default_workloads",
+            lambda: [_streaming_workload(num_blocks=6, block_threads=32)],
+        )
+        return autotune(
+            workers_counts=(2,),
+            slab_candidates=(2, 4),
+            slab_repeats=1,
+            events_repeats=1,
+        )
+
+    def test_profile_persisted_and_resolvable(self, tiny_profile):
+        from repro.arch.specs import GTX285
+        from repro.util import spec_fingerprint
+
+        stored = load_profile(spec_fingerprint(GTX285))
+        assert stored == tiny_profile
+        # Fresh constructions now consume the measured values.
+        value = resolve("grid_batch_blocks", spec=GTX285)
+        assert value == tiny_profile.default_grid_batch_blocks
+        value = resolve("min_parallel_events", spec=GTX285, workers=2)
+        assert value == tiny_profile.min_parallel_events[2]
+
+    def test_profile_meta_carries_measurements(self, tiny_profile):
+        assert tiny_profile.meta["seconds_per_event"] > 0
+        assert tiny_profile.meta["pool_startup_seconds"] > 0
+        assert "slab_timings" in tiny_profile.meta
