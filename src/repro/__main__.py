@@ -14,6 +14,10 @@ Commands
     persists this machine's tuning profile, ``show`` prints the
     resolved engine knobs and their provenance, ``trend`` compares
     per-commit ``BENCH_engine_smoke.json`` artifacts.
+``analyze``
+    Run the static kernel checker (:mod:`repro.analysis`) over the
+    built-in app kernels; exits nonzero on any error-severity
+    diagnostic (races, OOB accesses, divergent barriers).
 """
 
 from __future__ import annotations
@@ -280,6 +284,21 @@ def _cmd_tune_trend(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.report import (
+        BUILTIN_KERNELS,
+        analyze_kernels,
+        error_count,
+        render_json,
+        render_text,
+    )
+
+    names = args.kernel if args.kernel else sorted(BUILTIN_KERNELS)
+    reports = analyze_kernels(names)
+    print(render_json(reports) if args.json else render_text(reports))
+    return 1 if error_count(reports) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +427,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero when any gate regressed (default: warn only)",
     )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static kernel checker: races, OOB, divergent barriers",
+    )
+    group = analyze.add_mutually_exclusive_group()
+    group.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help="analyze one built-in kernel (repeatable; default: all)",
+    )
+    group.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze every built-in kernel (the default)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
     return parser
 
 
@@ -418,6 +459,7 @@ _COMMANDS = {
     "tridiag": _cmd_tridiag,
     "spmv": _cmd_spmv,
     "tune": _cmd_tune,
+    "analyze": _cmd_analyze,
 }
 
 _TUNE_COMMANDS = {

@@ -21,7 +21,7 @@ Example::
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import IsaError
 from repro.isa.instructions import (

@@ -2,20 +2,34 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ValidationError
 from repro.isa.instructions import MemRef, Pred, Reg
 from repro.isa.opcodes import Opcode, OpKind
 from repro.isa.program import Kernel
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle (arch -> isa)
+    from repro.arch.specs import GpuSpec
 
-def validate_kernel(kernel: Kernel) -> None:
+
+def validate_kernel(kernel: Kernel, spec: GpuSpec | None = None) -> None:
     """Raise :class:`ValidationError` on any structural problem.
 
     Checks register/predicate bounds, label resolution, memory-space
     consistency (already enforced per-instruction), and that execution
-    cannot fall off the end of the program.
+    cannot fall off the end of the program.  With a ``spec``, also
+    checks the kernel's static shared-memory footprint (including the
+    ABI overhead) against the per-block hardware limit.
     """
     _check_terminates(kernel)
+    if spec is not None and kernel.shared_memory_bytes > spec.sm.shared_memory_bytes:
+        raise ValidationError(
+            f"kernel {kernel.name!r} declares "
+            f"{kernel.shared_memory_bytes} bytes of shared memory "
+            f"(including ABI overhead), but {spec.name} provides "
+            f"{spec.sm.shared_memory_bytes} bytes per block"
+        )
     for position, instr in enumerate(kernel.instructions):
         where = f"instruction {position} ({instr})"
         for reg_index in instr.registers_read() + instr.registers_written():

@@ -12,7 +12,7 @@ transactions -- this module is that tool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ the paper's what-if studies also evaluate hypothetical 16-byte and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

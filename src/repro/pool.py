@@ -20,7 +20,7 @@ drift apart:
 from __future__ import annotations
 
 import sys
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 
 def start_method() -> str:

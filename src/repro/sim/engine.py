@@ -43,7 +43,7 @@ import warnings
 from dataclasses import dataclass, replace
 
 from repro.arch.specs import GpuSpec, GTX285
-from repro.errors import LaunchError
+from repro.errors import AnalysisError, LaunchError, ReproError
 from repro.isa.instructions import MemRef, Pred, Reg, Special
 from repro.isa.opcodes import OpKind
 from repro.isa.program import Kernel
@@ -67,7 +67,10 @@ from repro.sim.trace import (
 #: inside one slab), so cross-block write visibility changed for racy
 #: *barriered* kernels, and the slab width (grid_batch_blocks) joined
 #: the key.
-ENGINE_CACHE_VERSION = 4
+#: v5: the static dedup soundness proof can skip verifier probes
+#: (``dedup_verify`` joined the key) and class members are canonically
+#: sorted, so stats like ``simulated_blocks`` changed for proved grids.
+ENGINE_CACHE_VERSION = 5
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -256,6 +259,12 @@ class BlockClass:
 
     members: list[tuple[int, int]]
 
+    def __post_init__(self) -> None:
+        # Canonical member order: the representative and the probe
+        # picks must not depend on grid iteration order, and the dedup
+        # proof anchors at the minimum ctaid.
+        self.members = sorted(self.members)
+
     @property
     def representative(self) -> tuple[int, int]:
         return self.members[0]
@@ -334,14 +343,20 @@ class EngineStats:
     cache_hit: bool
     wall_seconds: float
     mode: str  # 'dedup' | 'full' | 'sample'
+    #: Multi-member classes whose equivalence the static proof
+    #: certified, skipping their verifier probes entirely.
+    proved_classes: int = 0
 
     def summary(self) -> str:
         cache = "cache hit" if self.cache_hit else "cache miss"
         if self.mode == "dedup":
             detail = (
                 f"{self.replicated_blocks} replicated, "
-                f"{self.block_classes} classes, dedup"
+                f"{self.block_classes} classes"
             )
+            if self.proved_classes:
+                detail += f" ({self.proved_classes} proved)"
+            detail += ", dedup"
         elif self.mode == "sample":
             detail = "representative sample, scaled"
         else:
@@ -526,6 +541,15 @@ class SimulationEngine:
         ``$REPRO_TUNE_GRID_BATCH_BLOCKS`` /
         ``$REPRO_GRID_BATCH_BLOCKS``, then the machine's persisted
         tuning profile, then the built-in default.
+    dedup_verify:
+        How multi-member dedup classes are verified.  ``"proof"``
+        (default) consults the static soundness proof
+        (:mod:`repro.analysis.dedup_proof`) first and only probe-
+        simulates classes the proof refuses.  ``"probe"`` is the
+        probe-only status quo.  ``"both"`` runs the proof *and* the
+        probes and raises :class:`~repro.errors.AnalysisError` if a
+        proved class's probes disagree -- a prover-or-simulator bug
+        that must never be silently demoted.
     """
 
     def __init__(
@@ -538,10 +562,17 @@ class SimulationEngine:
         max_warp_instructions: int = 50_000_000,
         batched: bool = True,
         grid_batch_blocks: int | None = None,
+        dedup_verify: str = "proof",
     ) -> None:
+        if dedup_verify not in ("proof", "probe", "both"):
+            raise ReproError(
+                f"dedup_verify must be 'proof', 'probe', or 'both', "
+                f"not {dedup_verify!r}"
+            )
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
         self.spec = spec
+        self.dedup_verify = dedup_verify
         self.workers = max(0, int(workers))
         self.max_warp_instructions = max_warp_instructions
         self.batched = batched
@@ -614,6 +645,7 @@ class SimulationEngine:
         fallbacks: int,
         mode: str,
         started: float,
+        proved: int = 0,
     ) -> EngineStats:
         total = launch.num_blocks
         return EngineStats(
@@ -628,6 +660,7 @@ class SimulationEngine:
             cache_hit=False,
             wall_seconds=time.perf_counter() - started,
             mode=mode,
+            proved_classes=proved,
         )
 
     def _run_sample(
@@ -657,29 +690,59 @@ class SimulationEngine:
     ) -> tuple[KernelTrace, EngineStats]:
         classes = partition_blocks(launch, self.dependence)
 
+        # Phase 0: static soundness proof.  A proved class is exact by
+        # translation invariance, so its verifier probes are skipped
+        # entirely (under "both" they still run, as a prover audit).
+        proved: set[int] = set()
+        if self.dedup_verify in ("proof", "both"):
+            # Imported lazily: repro.analysis.checks imports this
+            # module for the taint pass and the block partitioner.
+            from repro.analysis.dedup_proof import prove_block_class
+
+            for index, cls in enumerate(classes):
+                if not cls.verifiers:
+                    continue
+                if prove_block_class(
+                    self.kernel, launch, cls.members, self.gmem
+                ):
+                    proved.add(index)
+
         # Phase 1: representatives plus the verification members of
-        # every multi-member class, all simulated in one (possibly
-        # parallel) batch.
+        # every unproved multi-member class, all simulated in one
+        # (possibly parallel) batch.
         probe_blocks: list[tuple[int, int]] = []
-        for cls in classes:
+        for index, cls in enumerate(classes):
             probe_blocks.append(cls.representative)
-            probe_blocks.extend(cls.verifiers)
+            if index not in proved or self.dedup_verify == "both":
+                probe_blocks.extend(cls.verifiers)
         probe_traces = dict(
             zip(probe_blocks, self._simulate(launch, probe_blocks))
         )
 
         # Phase 2: verify; classes with any disagreeing probe are
-        # demoted and every member is simulated individually.
+        # demoted and every member is simulated individually.  A
+        # *proved* class whose probes disagree is a contradiction
+        # between the prover and the simulator: hard error.
         fallback_blocks: list[tuple[int, int]] = []
         demoted: set[int] = set()
         for index, cls in enumerate(classes):
             if not cls.verifiers:
+                continue
+            if index in proved and self.dedup_verify != "both":
                 continue
             rep_key = probe_traces[cls.representative].stats_key()
             if any(
                 probe_traces[v].stats_key() != rep_key
                 for v in cls.verifiers
             ):
+                if index in proved:
+                    raise AnalysisError(
+                        f"dedup proof certified class {cls.members[0]}.."
+                        f"{cls.members[-1]} of kernel "
+                        f"{self.kernel.name!r}, but probe simulations "
+                        "disagree with the representative; prover or "
+                        "simulator bug"
+                    )
                 demoted.add(index)
                 fallback_blocks.extend(
                     b for b in cls.members if b not in probe_traces
@@ -729,6 +792,7 @@ class SimulationEngine:
             len(demoted),
             "dedup",
             started,
+            proved=len(proved),
         )
         return trace, stats
 
@@ -843,6 +907,9 @@ class SimulationEngine:
         h.update(self.gmem.digest().encode())
         h.update(repr(tuple(blocks) if blocks is not None else "full").encode())
         h.update(f"dedup={dedup}".encode())
+        # Proof-skipped probes change EngineStats (simulated_blocks,
+        # proved_classes), which ride inside the cached trace.
+        h.update(f"verify={self.dedup_verify}".encode())
         # The runaway-instruction guard must still fire on warm caches.
         h.update(f"limit={self.simulator.max_warp_instructions}".encode())
         # Pooled workers see pickled gmem copies, so cross-block write

@@ -608,7 +608,7 @@ class FunctionalSimulator:
         batched: bool = True,
         grid_batch_blocks: int | None = None,
     ) -> None:
-        validate_kernel(kernel)
+        validate_kernel(kernel, spec)
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
         self.spec = spec

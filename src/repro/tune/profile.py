@@ -88,7 +88,7 @@ def machine_fingerprint() -> str:
             platform.node() or "unknown-host",
             platform.machine() or "unknown-arch",
             platform.python_implementation(),
-            "%d.%d" % tuple(sys.version_info[:2]),
+            f"{sys.version_info[0]}.{sys.version_info[1]}",
             f"cpus={os.cpu_count() or 1}",
         )
     )

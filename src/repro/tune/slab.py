@@ -206,7 +206,7 @@ def pick_widths(timings: dict, warps_of: dict) -> tuple[dict, int]:
         if not widths:
             continue
         total = {w: sum(r[w] for r in rows) for w in widths}
-        by_warps[warps] = min(widths, key=lambda w: (total[w], w))
+        by_warps[warps] = min((total[w], w) for w in widths)[1]
 
     rows = list(timings.values())
     widths = sorted(set.intersection(*(set(r) for r in rows))) if rows else []

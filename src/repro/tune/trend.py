@@ -101,7 +101,7 @@ def collect_files(inputs: list) -> list[str]:
 def load_entry(path: str) -> TrendEntry | None:
     """Parse one artifact; ``None`` for unreadable/foreign files."""
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, ValueError):
         return None
@@ -220,15 +220,9 @@ def render_markdown(report: dict) -> str:
         if gate["latest"] is None:
             status = "missing"
         lines.append(
-            "| {metric} | {first} | {previous} | {latest} | {delta} | "
-            "{status} |".format(
-                metric=metric,
-                first=_fmt(gate["first"]),
-                previous=_fmt(gate["previous"]),
-                latest=_fmt(gate["latest"]),
-                delta=_fmt_delta(gate["delta_vs_previous"]),
-                status=status,
-            )
+            f"| {metric} | {_fmt(gate['first'])} | "
+            f"{_fmt(gate['previous'])} | {_fmt(gate['latest'])} | "
+            f"{_fmt_delta(gate['delta_vs_previous'])} | {status} |"
         )
     lines.append("")
     if not report["latest_bit_identity_ok"]:
@@ -240,12 +234,8 @@ def render_markdown(report: dict) -> str:
     flagged = [r for r in report["regressions"] if r != "bit_identity"]
     if flagged:
         lines.append(
-            "WARNING: {count} gate(s) regressed more than {pct:.0f}%: "
-            "{names}".format(
-                count=len(flagged),
-                pct=report["threshold"] * 100,
-                names=", ".join(flagged),
-            )
+            f"WARNING: {len(flagged)} gate(s) regressed more than "
+            f"{report['threshold'] * 100:.0f}%: {', '.join(flagged)}"
         )
     else:
         lines.append(

@@ -180,3 +180,42 @@ class TestCommands:
 
         tables = CalibrationTables.load(out)
         assert tables.instruction.saturated("II") > 0
+
+
+class TestAnalyzeCommand:
+    def test_analyze_parses(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.kernel is None
+        assert not args.json
+
+    def test_kernel_repeatable(self):
+        args = build_parser().parse_args(
+            ["analyze", "--kernel", "matmul", "--kernel", "scan"]
+        )
+        assert args.kernel == ["matmul", "scan"]
+
+    def test_kernel_and_all_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--kernel", "matmul", "--all"]
+            )
+
+    def test_clean_kernel_exits_zero(self, capsys):
+        assert main(["analyze", "--kernel", "stencil"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil: clean" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["analyze", "--kernel", "scan", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["kernels"]["scan"]["clean"]
+
+    def test_unknown_kernel_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown kernel"):
+            main(["analyze", "--kernel", "nope"])

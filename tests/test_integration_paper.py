@@ -55,7 +55,7 @@ class TestMatmulNarrative:
         )
 
     def test_gflops_sane(self, matmul_runs):
-        for tile, run in matmul_runs.items():
+        for run in matmul_runs.values():
             rate = mm_gflops(512, run.measured.seconds)
             assert 50 < rate < 710.4  # below theoretical peak
 

@@ -207,3 +207,44 @@ class TestEmitters:
         b.exit()
         kernel = b.build()
         assert kernel.instructions[0].srcs[0] == Imm(5)
+
+
+class TestSharedFootprintLimit:
+    """validate_kernel(spec=...): static shared memory vs the SM limit."""
+
+    def _kernel(self, words):
+        b = KernelBuilder("smem_heavy")
+        b.alloc_shared(words)
+        r = b.reg()
+        b.mov(r, Imm(1))
+        b.sts(b.smem(offset=0), r)
+        b.exit()
+        return b.build()
+
+    def test_within_limit_passes(self):
+        from repro.arch.specs import GTX285
+
+        kernel = self._kernel(16)
+        validate_kernel(kernel, GTX285)
+
+    def test_footprint_over_limit_rejected(self):
+        from repro.arch.specs import GTX285
+
+        words = GTX285.sm.shared_memory_bytes // 4  # over once ABI overhead lands
+        kernel = self._kernel(words)
+        with pytest.raises(ValidationError, match="shared memory"):
+            validate_kernel(kernel, GTX285)
+
+    def test_no_spec_skips_hardware_check(self):
+        from repro.arch.specs import GTX285
+
+        kernel = self._kernel(GTX285.sm.shared_memory_bytes // 4)
+        validate_kernel(kernel)  # structural checks only
+
+    def test_simulator_enforces_spec_limit(self):
+        from repro.arch.specs import GTX285
+        from repro.sim.functional import FunctionalSimulator
+
+        kernel = self._kernel(GTX285.sm.shared_memory_bytes // 4)
+        with pytest.raises(ValidationError, match="shared memory"):
+            FunctionalSimulator(kernel)

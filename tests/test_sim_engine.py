@@ -178,8 +178,11 @@ class TestDifferentialEquivalence:
         )
         stats = fast.engine_stats
         assert stats.block_classes == 1
-        assert stats.simulated_blocks == 4  # representative + 3 verifiers
-        assert stats.replicated_blocks == launch.num_blocks - 4
+        # The dedup proof certifies the class: representative only, no
+        # verifier probes.
+        assert stats.proved_classes == 1
+        assert stats.simulated_blocks == 1
+        assert stats.replicated_blocks == launch.num_blocks - 1
 
     def test_tridiag_dedup_matches_serial(self, model):
         n, systems = 64, 6
@@ -188,7 +191,8 @@ class TestDifferentialEquivalence:
         fast = self._assert_equivalent(
             kernel, lambda: prepare_cr(n, systems).gmem, launch, model
         )
-        assert fast.engine_stats.simulated_blocks == 4
+        assert fast.engine_stats.proved_classes == 1
+        assert fast.engine_stats.simulated_blocks == 1
 
     @pytest.mark.parametrize("fmt", ("ell", "bell_im", "bell_imiv"))
     def test_spmv_parallel_matches_serial(self, model, fmt):
