@@ -108,10 +108,31 @@ def _engine_kwargs(args) -> dict:
     """Engine knobs shared by the case-study commands."""
     from repro.micro.cache import default_trace_cache_dir
 
+    _ensure_tuned(args)
     trace_cache = None
     if not getattr(args, "no_cache", False):
         trace_cache = str(default_trace_cache_dir())
     return {"workers": args.workers, "trace_cache": trace_cache}
+
+
+def _ensure_tuned(args) -> None:
+    """Self-populate the tuning profile before the first engine run.
+
+    Mirrors calibration's ``load_or_calibrate``: first use on a machine
+    measures once, every later run resolves against the persisted
+    profile.  ``--no-cache`` (nothing should persist) and
+    ``$REPRO_TUNE_AUTO=0`` skip the measurement.
+    """
+    from repro.tune import default_tune_dir, ensure_profile
+
+    ensure_profile(
+        dry_run=getattr(args, "no_cache", False),
+        on_tune=lambda: print(
+            "measuring engine tuning parameters (profile will be "
+            f"cached at {default_tune_dir()}) ...",
+            file=sys.stderr,
+        ),
+    )
 
 
 def _print_run(run) -> None:

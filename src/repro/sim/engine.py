@@ -38,6 +38,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import pickle
 import time
 import warnings
 from dataclasses import dataclass, replace
@@ -70,7 +71,12 @@ from repro.sim.trace import (
 #: v5: the static dedup soundness proof can skip verifier probes
 #: (``dedup_verify`` joined the key) and class members are canonically
 #: sorted, so stats like ``simulated_blocks`` changed for proved grids.
-ENGINE_CACHE_VERSION = 5
+#: v6: covered dedup classes synthesize their representative trace in
+#: closed form instead of interpreting it (``trace_mode`` joined the
+#: key), so ``simulated_blocks``/``synthesized_classes`` changed for
+#: affine grids; the slab width resolves per launch from the launch's
+#: warps-per-block.
+ENGINE_CACHE_VERSION = 6
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -346,6 +352,12 @@ class EngineStats:
     #: Multi-member classes whose equivalence the static proof
     #: certified, skipping their verifier probes entirely.
     proved_classes: int = 0
+    #: Dedup classes whose representative trace was synthesized in
+    #: closed form (no interpreter pass) vs interpreted.  Their sum is
+    #: ``block_classes``; ``synthesized_classes == 0`` is the fallback
+    #: signal for data-dependent kernels under ``trace_mode="symbolic"``.
+    synthesized_classes: int = 0
+    interpreted_classes: int = 0
 
     def summary(self) -> str:
         cache = "cache hit" if self.cache_hit else "cache miss"
@@ -354,8 +366,13 @@ class EngineStats:
                 f"{self.replicated_blocks} replicated, "
                 f"{self.block_classes} classes"
             )
+            qualifiers = []
             if self.proved_classes:
-                detail += f" ({self.proved_classes} proved)"
+                qualifiers.append(f"{self.proved_classes} proved")
+            if self.synthesized_classes:
+                qualifiers.append(f"{self.synthesized_classes} synthesized")
+            if qualifiers:
+                detail += f" ({', '.join(qualifiers)})"
             detail += ", dedup"
         elif self.mode == "sample":
             detail = "representative sample, scaled"
@@ -537,10 +554,11 @@ class SimulationEngine:
         kept for differential benchmarks and tests.
     grid_batch_blocks:
         Blocks per multi-block interpreter slab (and per worker chunk).
-        ``None`` defers to :func:`repro.tune.resolve`:
+        ``None`` defers to :func:`repro.tune.resolve` per launch:
         ``$REPRO_TUNE_GRID_BATCH_BLOCKS`` /
         ``$REPRO_GRID_BATCH_BLOCKS``, then the machine's persisted
-        tuning profile, then the built-in default.
+        tuning profile keyed by the launch's warps-per-block, then the
+        built-in default.
     dedup_verify:
         How multi-member dedup classes are verified.  ``"proof"``
         (default) consults the static soundness proof
@@ -550,6 +568,18 @@ class SimulationEngine:
         probes and raises :class:`~repro.errors.AnalysisError` if a
         proved class's probes disagree -- a prover-or-simulator bug
         that must never be silently demoted.
+    trace_mode:
+        Where a dedup class's representative trace comes from.
+        ``"symbolic"`` (default) synthesizes it in closed form
+        (:mod:`repro.analysis.symbolic`) whenever the coverage gate and
+        the dedup proof cover the class, falling back to the batched
+        interpreter otherwise (data-dependent kernels like SpMV always
+        fall back; ``EngineStats.synthesized_classes`` reports the
+        split).  ``"interpret"`` is the interpreter-only status quo.
+        ``"both"`` synthesizes *and* interprets every covered class and
+        raises :class:`~repro.errors.AnalysisError` unless the two
+        traces are pickle-byte-identical -- the differential audit
+        mirroring ``dedup_verify="both"``.
     """
 
     def __init__(
@@ -563,16 +593,23 @@ class SimulationEngine:
         batched: bool = True,
         grid_batch_blocks: int | None = None,
         dedup_verify: str = "proof",
+        trace_mode: str = "symbolic",
     ) -> None:
         if dedup_verify not in ("proof", "probe", "both"):
             raise ReproError(
                 f"dedup_verify must be 'proof', 'probe', or 'both', "
                 f"not {dedup_verify!r}"
             )
+        if trace_mode not in ("symbolic", "interpret", "both"):
+            raise ReproError(
+                f"trace_mode must be 'symbolic', 'interpret', or 'both', "
+                f"not {trace_mode!r}"
+            )
         self.kernel = kernel
         self.gmem = gmem if gmem is not None else GlobalMemory()
         self.spec = spec
         self.dedup_verify = dedup_verify
+        self.trace_mode = trace_mode
         self.workers = max(0, int(workers))
         self.max_warp_instructions = max_warp_instructions
         self.batched = batched
@@ -646,21 +683,25 @@ class SimulationEngine:
         mode: str,
         started: float,
         proved: int = 0,
+        synthesized: int = 0,
     ) -> EngineStats:
         total = launch.num_blocks
+        dedup = mode == "dedup"
         return EngineStats(
             total_blocks=total,
             simulated_blocks=simulated,
             replicated_blocks=(
-                max(total - simulated, 0) if mode == "dedup" else 0
+                max(total - simulated, 0) if dedup else 0
             ),
-            block_classes=classes if mode == "dedup" else 0,
+            block_classes=classes if dedup else 0,
             probe_fallbacks=fallbacks,
             workers=self.workers,
             cache_hit=False,
             wall_seconds=time.perf_counter() - started,
             mode=mode,
             proved_classes=proved,
+            synthesized_classes=synthesized if dedup else 0,
+            interpreted_classes=max(classes - synthesized, 0) if dedup else 0,
         )
 
     def _run_sample(
@@ -707,17 +748,73 @@ class SimulationEngine:
                 ):
                     proved.add(index)
 
+        # Phase 0.5: symbolic synthesis.  A class whose equivalence is
+        # settled without probes (singleton, or certified by the proof)
+        # and whose kernel passes the coverage gate gets its
+        # representative trace synthesized in closed form -- no
+        # interpreter pass, no memory contents.  Unproved multi-member
+        # classes keep interpreting: their probe verification needs the
+        # real traces anyway.
+        synthesized: dict[int, BlockTrace] = {}
+        if self.trace_mode in ("symbolic", "both"):
+            # Lazy for the same reason as the proof import above.
+            from repro.analysis.symbolic import (
+                TraceSynthesizer,
+                synthesis_coverage,
+            )
+
+            if synthesis_coverage(
+                self.kernel, launch, dependence=self.dependence
+            ):
+                synthesizer = TraceSynthesizer(
+                    self.kernel,
+                    self.gmem,
+                    spec=self.spec,
+                    max_warp_instructions=self.max_warp_instructions,
+                )
+                for index, cls in enumerate(classes):
+                    if cls.verifiers and index not in proved:
+                        continue
+                    synthesized[index] = synthesizer.synthesize(
+                        launch, cls.representative
+                    )
+
         # Phase 1: representatives plus the verification members of
         # every unproved multi-member class, all simulated in one
-        # (possibly parallel) batch.
+        # (possibly parallel) batch.  A synthesized representative is
+        # interpreted only when something still needs its real trace:
+        # the "both" differential audit, or a pending probe comparison.
         probe_blocks: list[tuple[int, int]] = []
         for index, cls in enumerate(classes):
-            probe_blocks.append(cls.representative)
-            if index not in proved or self.dedup_verify == "both":
+            audit = cls.verifiers and (
+                index not in proved or self.dedup_verify == "both"
+            )
+            if index not in synthesized or self.trace_mode == "both" or audit:
+                probe_blocks.append(cls.representative)
+            if audit:
                 probe_blocks.extend(cls.verifiers)
         probe_traces = dict(
             zip(probe_blocks, self._simulate(launch, probe_blocks))
         )
+
+        # Synthesized traces must be byte-identical to interpreted ones
+        # -- not merely equal -- because traces are pickled into the
+        # cache and compared by stats_key.  Under "both" every covered
+        # class is checked on every run.
+        if self.trace_mode == "both":
+            for index, synthetic in synthesized.items():
+                rep = classes[index].representative
+                expected = pickle.dumps(
+                    probe_traces[rep], pickle.HIGHEST_PROTOCOL
+                )
+                actual = pickle.dumps(synthetic, pickle.HIGHEST_PROTOCOL)
+                if actual != expected:
+                    raise AnalysisError(
+                        f"symbolic synthesis of kernel "
+                        f"{self.kernel.name!r} block {rep} diverges from "
+                        "the interpreter (pickled traces differ); "
+                        "synthesizer or interpreter bug"
+                    )
 
         # Phase 2: verify; classes with any disagreeing probe are
         # demoted and every member is simulated individually.  A
@@ -763,8 +860,12 @@ class SimulationEngine:
         for index, cls in enumerate(classes):
             if index not in demoted:
                 # Verifier traces equal the representative's, so one
-                # entry with the full multiplicity is exact.
-                rep_trace = simulated_traces[cls.representative]
+                # entry with the full multiplicity is exact.  A
+                # synthesized trace is byte-identical to the interpreted
+                # one, so either serves.
+                rep_trace = synthesized.get(index)
+                if rep_trace is None:
+                    rep_trace = simulated_traces[cls.representative]
                 entries.append((rep_trace, len(cls.members)))
                 for member in cls.members:
                     trace_for[member] = rep_trace
@@ -793,6 +894,7 @@ class SimulationEngine:
             "dedup",
             started,
             proved=len(proved),
+            synthesized=len(synthesized),
         )
         return trace, stats
 
@@ -810,7 +912,7 @@ class SimulationEngine:
         """
         if self.workers <= 1 or len(blocks) <= 1:
             return self.simulator.run_blocks(launch, blocks)
-        step = max(1, int(self.simulator.grid_batch_blocks))
+        step = max(1, int(self.simulator.grid_batch_blocks_for(launch)))
         chunks = [blocks[i : i + step] for i in range(0, len(blocks), step)]
         # Ship the arena through multiprocessing.shared_memory instead
         # of re-pickling it per fan-out; workers copy it into private
@@ -844,7 +946,7 @@ class SimulationEngine:
                     self.max_warp_instructions,
                     launch,
                     self.batched,
-                    self.simulator.grid_batch_blocks,
+                    step,
                 ),
             )
         finally:
@@ -910,6 +1012,10 @@ class SimulationEngine:
         # Proof-skipped probes change EngineStats (simulated_blocks,
         # proved_classes), which ride inside the cached trace.
         h.update(f"verify={self.dedup_verify}".encode())
+        # Synthesis changes EngineStats the same way (simulated_blocks,
+        # synthesized_classes), even though the traces themselves are
+        # byte-identical across modes.
+        h.update(f"trace={self.trace_mode}".encode())
         # The runaway-instruction guard must still fire on warm caches.
         h.update(f"limit={self.simulator.max_warp_instructions}".encode())
         # Pooled workers see pickled gmem copies, so cross-block write
@@ -922,7 +1028,9 @@ class SimulationEngine:
             # racy kernels (blocks sharing a slab interleave lockstep);
             # the per-warp oracle never forms slabs, so its keys stay
             # width-independent.
-            h.update(f"gbb={self.simulator.grid_batch_blocks};".encode())
+            h.update(
+                f"gbb={self.simulator.grid_batch_blocks_for(launch)};".encode()
+            )
         if not self.batched:
             # Batched and per-warp traces are bit-identical for
             # well-synchronized kernels; the oracle is keyed separately

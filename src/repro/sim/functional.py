@@ -593,10 +593,12 @@ class FunctionalSimulator:
         :class:`BlockTrace` results for barrier-synchronized kernels.
     grid_batch_blocks:
         Blocks per multi-block slab in :meth:`run_blocks`.  ``None``
-        (default) resolves through :func:`repro.tune.resolve`:
+        (default) resolves through :func:`repro.tune.resolve` *per
+        launch* (see :meth:`grid_batch_blocks_for`):
         ``$REPRO_TUNE_GRID_BATCH_BLOCKS`` /
         ``$REPRO_GRID_BATCH_BLOCKS``, then the machine's persisted
-        tuning profile (``repro tune run``), then the built-in default.
+        tuning profile (``repro tune run``) keyed by the launch's
+        warps-per-block, then the built-in default.
     """
 
     def __init__(
@@ -614,9 +616,7 @@ class FunctionalSimulator:
         self.spec = spec
         self.max_warp_instructions = max_warp_instructions
         self.batched = batched
-        self.grid_batch_blocks = tune_resolve(
-            "grid_batch_blocks", kwarg=grid_batch_blocks, spec=spec
-        )
+        self._grid_batch_kwarg = grid_batch_blocks
         self._decoded = [
             _Decoded(instr, kernel.labels) for instr in kernel.instructions
         ]
@@ -631,6 +631,41 @@ class FunctionalSimulator:
         self._txn_configs: dict[int, TransactionConfig] = {}
         for granularity in (4, 8, 16, 32, 64, 128):
             self._txn_config(granularity)
+
+    @property
+    def grid_batch_blocks(self) -> int:
+        """Launch-independent slab width (no warps-per-block context).
+
+        Kept for callers without a launch in hand; slab-forming paths
+        use :meth:`grid_batch_blocks_for`, which also consults the
+        tuning profile's per-warps-per-block table.
+        """
+        return tune_resolve(
+            "grid_batch_blocks", kwarg=self._grid_batch_kwarg, spec=self.spec
+        )
+
+    @grid_batch_blocks.setter
+    def grid_batch_blocks(self, value: int | None) -> None:
+        # An explicit width has kwarg precedence: it wins over the env
+        # and the profile for every subsequent launch.
+        self._grid_batch_kwarg = value
+
+    def grid_batch_blocks_for(self, launch: LaunchConfig) -> int:
+        """Slab width for one launch, resolved at ``run_blocks`` time.
+
+        The tuning profile stores the measured best width *per
+        warps-per-block* (wide blocks saturate the batch earlier), so
+        the width is a property of the launch, not of the simulator:
+        one simulator instance serves differently-shaped launches with
+        each launch's own tuned width.  Explicit ``grid_batch_blocks``
+        kwargs and the environment still override.
+        """
+        return tune_resolve(
+            "grid_batch_blocks",
+            kwarg=self._grid_batch_kwarg,
+            spec=self.spec,
+            warps_per_block=launch.warps_per_block,
+        )
 
     def _txn_config(self, granularity: int) -> TransactionConfig:
         """Memoized coalescing config for one granularity.
@@ -686,7 +721,7 @@ class FunctionalSimulator:
         if not (self.batched and len(blocks) > 1):
             return [self.run_block(launch, block) for block in blocks]
         traces: list[BlockTrace] = []
-        step = max(1, int(self.grid_batch_blocks))
+        step = max(1, int(self.grid_batch_blocks_for(launch)))
         for start in range(0, len(blocks), step):
             chunk = blocks[start : start + step]
             if len(chunk) == 1:

@@ -12,7 +12,10 @@ for the precedence rules).  Import surface:
 * :func:`autotune` -- run both tuners and build a fresh profile
   (imports the measurement modules lazily; they pull in the simulator
   stack, which this package root must not do because the simulators
-  import :mod:`repro.tune` themselves).
+  import :mod:`repro.tune` themselves);
+* :func:`ensure_profile` -- load the machine's profile, auto-running
+  :func:`autotune` on first use the way calibration self-populates
+  (``$REPRO_TUNE_AUTO=0`` or ``dry_run=True`` opts out).
 
 The tuners live in :mod:`repro.tune.events` (serial/pool crossover) and
 :mod:`repro.tune.slab` (grid-batch slab width); the perf-trajectory
@@ -39,15 +42,23 @@ from repro.tune.profile import (
     save_profile,
 )
 
+#: Set to ``0``/``no``/``false``/``off`` to stop :func:`ensure_profile`
+#: from measuring on machines where an automatic tuning run is
+#: unwelcome (CI, tests, shared boxes); resolution then falls through
+#: to the built-in defaults as before.
+TUNE_AUTO_ENV = "REPRO_TUNE_AUTO"
+
 __all__ = [
     "BUILTIN_DEFAULTS",
     "ENV_OVERRIDES",
     "PARAM_FLOORS",
+    "TUNE_AUTO_ENV",
     "TUNE_DIR_ENV",
     "TUNE_PROFILE_VERSION",
     "TuneProfileCache",
     "TuningProfile",
     "autotune",
+    "ensure_profile",
     "default_tune_dir",
     "load_profile",
     "machine_fingerprint",
@@ -111,3 +122,44 @@ def autotune(
     if save:
         save_profile(profile, directory=directory)
     return profile
+
+
+def ensure_profile(
+    spec=None,
+    directory=None,
+    dry_run: bool = False,
+    on_tune=None,
+    **autotune_kwargs,
+) -> TuningProfile | None:
+    """This machine's profile, auto-tuning on first use.
+
+    The tuning analogue of calibration's ``load_or_calibrate``: when no
+    profile exists for the (machine, spec) fingerprint, measure one and
+    persist it so every later construction resolves against it.  Opt
+    out with ``dry_run=True`` or ``$REPRO_TUNE_AUTO=0`` -- both return
+    whatever is already on disk (possibly ``None``) without measuring.
+    ``on_tune`` is called right before a measurement actually starts,
+    for progress messages.
+    """
+    import os
+
+    from repro.arch.specs import GTX285
+    from repro.util import spec_fingerprint
+
+    spec = GTX285 if spec is None else spec
+    profile = load_profile(spec_fingerprint(spec), directory=directory)
+    if profile is not None:
+        return profile
+    opted_out = os.environ.get(TUNE_AUTO_ENV, "").strip().lower() in (
+        "0",
+        "no",
+        "false",
+        "off",
+    )
+    if dry_run or opted_out:
+        return None
+    if on_tune is not None:
+        on_tune()
+    return autotune(
+        spec=spec, save=True, directory=directory, **autotune_kwargs
+    )

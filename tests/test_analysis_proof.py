@@ -43,7 +43,12 @@ class TestProofCoverage:
     @pytest.mark.parametrize("name", AFFINE_KERNELS)
     def test_engine_skips_all_probes(self, name):
         case = analysis_case(name)
-        engine = SimulationEngine(case.kernel, gmem=case.gmem)
+        # trace_mode="interpret" isolates the proof's probe skipping
+        # from trace synthesis (which drops simulated_blocks to zero;
+        # see test_sim_symbolic.py).
+        engine = SimulationEngine(
+            case.kernel, gmem=case.gmem, trace_mode="interpret"
+        )
         trace = engine.run(case.launch)
         stats = trace.engine_stats
         # Every multi-member class proved: exactly one simulation per

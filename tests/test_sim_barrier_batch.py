@@ -237,9 +237,11 @@ class TestGridBatchBlocksOverride:
         import pytest
 
         monkeypatch.setenv(GRID_BATCH_BLOCKS_ENV, "not-a-number")
+        # Resolution happens per launch (at run/read time), not at
+        # construction, so the warning fires on the attribute read.
+        sim = FunctionalSimulator(self._kernel())
         with pytest.warns(RuntimeWarning):
-            sim = FunctionalSimulator(self._kernel())
-        assert sim.grid_batch_blocks == 32
+            assert sim.grid_batch_blocks == 32
 
     def test_floor_of_one(self):
         sim = FunctionalSimulator(self._kernel(), grid_batch_blocks=0)
@@ -273,3 +275,73 @@ class TestGridBatchBlocksOverride:
         got = narrow.run_blocks(launch, blocks)
         for expected, actual in zip(reference, got):
             assert pickle.dumps(expected) == pickle.dumps(actual)
+
+
+class TestPerLaunchSlabResolution:
+    """Slab width resolves at run time from the launch's warps-per-block."""
+
+    def _kernel(self):
+        b = KernelBuilder("k")
+        r = b.reg()
+        b.mov(r, Imm(1.0))
+        b.exit()
+        return b.build()
+
+    def _save_by_warps_profile(self, by_warps, default):
+        from repro.arch.specs import GTX285
+        from repro.tune import new_profile, save_profile
+        from repro.util import spec_fingerprint
+
+        profile = new_profile(
+            spec_fp=spec_fingerprint(GTX285),
+            min_parallel_events={},
+            grid_batch_blocks=by_warps,
+            default_grid_batch_blocks=default,
+        )
+        save_profile(profile)
+
+    def test_profile_width_follows_the_launch_shape(self):
+        self._save_by_warps_profile({1: 5, 4: 9}, default=7)
+        sim = FunctionalSimulator(self._kernel())
+        narrow = LaunchConfig(grid=(1, 1), block_threads=32)
+        wide = LaunchConfig(grid=(1, 1), block_threads=128)
+        unknown = LaunchConfig(grid=(1, 1), block_threads=64)
+        assert sim.grid_batch_blocks_for(narrow) == 5
+        assert sim.grid_batch_blocks_for(wide) == 9
+        assert sim.grid_batch_blocks_for(unknown) == 7
+        # The launch-free property has no warps context: the default.
+        assert sim.grid_batch_blocks == 7
+
+    def test_one_simulator_serves_differently_shaped_launches(self):
+        # The regression the refactor fixes: construction froze the
+        # width, so the second launch inherited the first's shape.
+        self._save_by_warps_profile({1: 5, 4: 9}, default=7)
+        sim = FunctionalSimulator(self._kernel())
+        assert sim.grid_batch_blocks_for(
+            LaunchConfig(grid=(1, 1), block_threads=128)
+        ) == 9
+        assert sim.grid_batch_blocks_for(
+            LaunchConfig(grid=(1, 1), block_threads=32)
+        ) == 5
+
+    def test_kwarg_and_assignment_still_override(self):
+        self._save_by_warps_profile({1: 5}, default=7)
+        launch = LaunchConfig(grid=(1, 1), block_threads=32)
+        sim = FunctionalSimulator(self._kernel(), grid_batch_blocks=3)
+        assert sim.grid_batch_blocks_for(launch) == 3
+        sim.grid_batch_blocks = 2
+        assert sim.grid_batch_blocks_for(launch) == 2
+        assert sim.grid_batch_blocks == 2
+        sim.grid_batch_blocks = None
+        assert sim.grid_batch_blocks_for(launch) == 5
+
+    def test_engine_cache_key_uses_per_launch_width(self):
+        self._save_by_warps_profile({1: 5, 4: 9}, default=7)
+        engine = SimulationEngine(self._kernel())
+        narrow = LaunchConfig(grid=(1, 1), block_threads=32)
+        wide = LaunchConfig(grid=(1, 1), block_threads=128)
+        # Same grid, different block shape: the slab width (and hence
+        # cross-block visibility) differs, so the keys must too.
+        assert engine._cache_key(narrow, None, True) != engine._cache_key(
+            wide, None, True
+        )

@@ -178,11 +178,12 @@ class TestDifferentialEquivalence:
         )
         stats = fast.engine_stats
         assert stats.block_classes == 1
-        # The dedup proof certifies the class: representative only, no
-        # verifier probes.
+        # The dedup proof certifies the class and trace synthesis
+        # covers the kernel: no interpreter pass at all.
         assert stats.proved_classes == 1
-        assert stats.simulated_blocks == 1
-        assert stats.replicated_blocks == launch.num_blocks - 1
+        assert stats.synthesized_classes == 1
+        assert stats.simulated_blocks == 0
+        assert stats.replicated_blocks == launch.num_blocks
 
     def test_tridiag_dedup_matches_serial(self, model):
         n, systems = 64, 6
@@ -192,7 +193,8 @@ class TestDifferentialEquivalence:
             kernel, lambda: prepare_cr(n, systems).gmem, launch, model
         )
         assert fast.engine_stats.proved_classes == 1
-        assert fast.engine_stats.simulated_blocks == 1
+        assert fast.engine_stats.synthesized_classes == 1
+        assert fast.engine_stats.simulated_blocks == 0
 
     @pytest.mark.parametrize("fmt", ("ell", "bell_im", "bell_imiv"))
     def test_spmv_parallel_matches_serial(self, model, fmt):

@@ -1,0 +1,264 @@
+"""Symbolic trace synthesis: byte-identity, fallbacks, and the ladder.
+
+The synthesis contract is strict: a synthesized :class:`BlockTrace`
+must pickle to *exactly* the bytes the interpreters produce, for every
+affine zoo kernel at more than one grid size.  Data-dependent kernels
+must refuse cleanly and leave a visible ``EngineStats`` signal.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.report import analysis_case
+from repro.analysis.symbolic import (
+    TraceSynthesizer,
+    synthesis_coverage,
+    synthesize_block_trace,
+)
+from repro.apps import matmul, reduction, scan, stencil, tridiag
+from repro.errors import AnalysisError, ReproError
+from repro.sim.engine import SimulationEngine
+from repro.sim.functional import FunctionalSimulator
+
+AFFINE_KERNELS = (
+    "matmul",
+    "scan",
+    "stencil",
+    "stencil_guarded",
+    "reduction",
+    "tridiag",
+    "tridiag_nbc",
+)
+
+#: Each zoo kernel at two grid sizes -- synthesis must be exact at
+#: both, not just at the analysis-case default.
+_SIZED = {
+    "matmul": {
+        "small": lambda: (
+            matmul.build_matmul_kernel(64, 8),
+            matmul.prepare_problem(64, 8),
+        ),
+        "large": lambda: (
+            matmul.build_matmul_kernel(128, 8),
+            matmul.prepare_problem(128, 8),
+        ),
+    },
+    "scan": {
+        "small": lambda: (
+            scan.build_scan_kernel(128, "f32"),
+            scan.prepare_problem(500, block_threads=128),
+        ),
+        "large": lambda: (
+            scan.build_scan_kernel(128, "f32"),
+            scan.prepare_problem(4000, block_threads=128),
+        ),
+    },
+    "stencil": {
+        "small": lambda: (
+            stencil.build_stencil_kernel(64, guarded=False),
+            stencil.prepare_problem(256, block_threads=64),
+        ),
+        "large": lambda: (
+            stencil.build_stencil_kernel(64, guarded=False),
+            stencil.prepare_problem(2048, block_threads=64),
+        ),
+    },
+    "stencil_guarded": {
+        "small": lambda: (
+            stencil.build_stencil_kernel(64, guarded=True),
+            stencil.prepare_problem(256, block_threads=64, guarded=True),
+        ),
+        "large": lambda: (
+            stencil.build_stencil_kernel(64, guarded=True),
+            stencil.prepare_problem(2048, block_threads=64, guarded=True),
+        ),
+    },
+    "reduction": {
+        "small": lambda: (
+            reduction.build_reduction_kernel(64),
+            reduction.prepare_problem(block_threads=64, num_blocks=8),
+        ),
+        "large": lambda: (
+            reduction.build_reduction_kernel(64),
+            reduction.prepare_problem(block_threads=64, num_blocks=96),
+        ),
+    },
+    "tridiag": {
+        "small": lambda: (
+            tridiag.build_cr_kernel(64),
+            tridiag.prepare_problem(64, 4),
+        ),
+        "large": lambda: (
+            tridiag.build_cr_kernel(64),
+            tridiag.prepare_problem(64, 24),
+        ),
+    },
+    "tridiag_nbc": {
+        "small": lambda: (
+            tridiag.build_cr_kernel(64, padded=True),
+            tridiag.prepare_problem(64, 4),
+        ),
+        "large": lambda: (
+            tridiag.build_cr_kernel(64, padded=True),
+            tridiag.prepare_problem(64, 24),
+        ),
+    },
+}
+
+
+def _probe_blocks(launch):
+    """First, a middle, and the last block of the grid."""
+    gx, gy = launch.grid
+    total = gx * gy
+    picks = {0, total // 2, total - 1}
+    return sorted((i % gx, i // gx) for i in picks)
+
+
+class TestDifferentialByteIdentity:
+    @pytest.mark.parametrize("name", AFFINE_KERNELS)
+    @pytest.mark.parametrize("size", ("small", "large"))
+    def test_synthesis_matches_interpreter(self, name, size):
+        kernel, problem = _SIZED[name][size]()
+        launch = problem.launch()
+        assert synthesis_coverage(kernel, launch)
+        synthesizer = TraceSynthesizer(kernel, problem.gmem)
+        interpreter = FunctionalSimulator(
+            kernel, gmem=problem.gmem, batched=True
+        )
+        for block in _probe_blocks(launch):
+            synthesized = synthesizer.synthesize(launch, block)
+            interpreted = interpreter.run_block(launch, block)
+            assert pickle.dumps(
+                synthesized, pickle.HIGHEST_PROTOCOL
+            ) == pickle.dumps(interpreted, pickle.HIGHEST_PROTOCOL), (
+                name,
+                size,
+                block,
+            )
+
+    @pytest.mark.parametrize("name", AFFINE_KERNELS)
+    def test_matches_per_warp_oracle_too(self, name):
+        case = analysis_case(name)
+        synthesized = synthesize_block_trace(
+            case.kernel, case.launch, (0, 0), case.gmem
+        )
+        oracle = FunctionalSimulator(case.kernel, gmem=case.gmem, batched=False)
+        expected = oracle.run_block(case.launch, (0, 0))
+        assert pickle.dumps(synthesized, 5) == pickle.dumps(expected, 5)
+
+
+class TestCoverageGate:
+    @pytest.mark.parametrize("name", AFFINE_KERNELS)
+    def test_affine_zoo_is_covered(self, name):
+        case = analysis_case(name)
+        coverage = synthesis_coverage(case.kernel, case.launch)
+        assert coverage
+        assert coverage.covered
+
+    def test_spmv_refuses_with_data_reason(self):
+        case = analysis_case("spmv")
+        coverage = synthesis_coverage(case.kernel, case.launch)
+        assert not coverage
+        assert "contents" in coverage.reason
+
+
+class TestEngineLadder:
+    @pytest.mark.parametrize("name", AFFINE_KERNELS)
+    def test_both_mode_audits_whole_zoo(self, name):
+        case = analysis_case(name)
+        engine = SimulationEngine(
+            case.kernel, gmem=case.gmem, trace_mode="both"
+        )
+        stats = engine.run(case.launch).engine_stats
+        # Every class synthesized -- and every one byte-compared
+        # against its interpreted twin without raising.
+        assert stats.synthesized_classes == stats.block_classes >= 1
+        assert stats.interpreted_classes == 0
+
+    @pytest.mark.parametrize("name", AFFINE_KERNELS)
+    def test_symbolic_default_skips_the_interpreter(self, name):
+        case = analysis_case(name)
+        engine = SimulationEngine(case.kernel, gmem=case.gmem)
+        stats = engine.run(case.launch).engine_stats
+        assert stats.synthesized_classes == stats.block_classes
+        assert stats.simulated_blocks == 0
+        assert "synthesized" in stats.summary()
+
+    @pytest.mark.parametrize("mode", ("symbolic", "both"))
+    def test_spmv_falls_back_to_interpreter(self, mode):
+        case = analysis_case("spmv")
+        engine = SimulationEngine(
+            case.kernel, gmem=case.gmem, trace_mode=mode
+        )
+        stats = engine.run(case.launch).engine_stats
+        # The clear fallback signal: zero synthesized classes, every
+        # class interpreted, every block simulated for real.
+        assert stats.synthesized_classes == 0
+        assert stats.interpreted_classes == stats.block_classes
+        assert stats.simulated_blocks == stats.total_blocks
+
+    @pytest.mark.parametrize("name", ("matmul", "spmv"))
+    def test_modes_agree_on_the_trace(self, name):
+        payloads = {}
+        for mode in ("symbolic", "interpret", "both"):
+            case = analysis_case(name)
+            engine = SimulationEngine(
+                case.kernel, gmem=case.gmem, trace_mode=mode
+            )
+            trace = engine.run(case.launch)
+            trace.engine_stats = None  # stats legitimately differ
+            payloads[mode] = pickle.dumps(trace)
+        assert (
+            payloads["symbolic"] == payloads["interpret"] == payloads["both"]
+        )
+
+    def test_unknown_trace_mode_rejected(self):
+        case = analysis_case("stencil")
+        with pytest.raises(ReproError, match="trace_mode"):
+            SimulationEngine(case.kernel, trace_mode="guess")
+
+    def test_both_mode_raises_on_divergence(self, monkeypatch):
+        import repro.analysis.symbolic as symbolic_mod
+
+        case = analysis_case("stencil")
+        original = symbolic_mod.TraceSynthesizer.synthesize
+
+        def corrupted(self, launch, block):
+            trace = original(self, launch, block)
+            trace.stages[0].shared_transactions += 1
+            return trace
+
+        monkeypatch.setattr(
+            symbolic_mod.TraceSynthesizer, "synthesize", corrupted
+        )
+        engine = SimulationEngine(
+            case.kernel, gmem=case.gmem, trace_mode="both"
+        )
+        with pytest.raises(AnalysisError, match="diverges"):
+            engine.run(case.launch)
+
+
+class TestCacheKeying:
+    def test_trace_mode_changes_cache_key(self):
+        case = analysis_case("stencil")
+        keys = {
+            SimulationEngine(
+                case.kernel, gmem=case.gmem, trace_mode=mode
+            )._cache_key(case.launch, None, True)
+            for mode in ("symbolic", "interpret", "both")
+        }
+        assert len(keys) == 3
+
+    def test_symbolic_stats_survive_the_cache(self, tmp_path):
+        case = analysis_case("stencil")
+
+        def engine():
+            return SimulationEngine(
+                case.kernel, gmem=case.gmem, cache_dir=tmp_path
+            )
+
+        cold = engine().run(case.launch).engine_stats
+        warm = engine().run(case.launch).engine_stats
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.synthesized_classes == cold.synthesized_classes == 1

@@ -140,3 +140,74 @@ class TestLruEviction:
         monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
         save_profile(_profile(), directory=tmp_path)
         assert junk.exists()
+
+
+class TestEnsureProfile:
+    """First-use auto-tuning, the way calibration self-populates."""
+
+    def _spec_fp(self):
+        from repro.arch.specs import GTX285
+        from repro.util import spec_fingerprint
+
+        return spec_fingerprint(GTX285)
+
+    def test_existing_profile_returned_without_tuning(
+        self, monkeypatch, tmp_path
+    ):
+        import repro.tune as tune
+
+        profile = _profile(self._spec_fp())
+        save_profile(profile, directory=tmp_path)
+        monkeypatch.setattr(
+            tune, "autotune", lambda **k: pytest.fail("must not measure")
+        )
+        monkeypatch.setenv(tune.TUNE_AUTO_ENV, "1")
+        assert tune.ensure_profile(directory=tmp_path) == profile
+
+    def test_missing_profile_triggers_autotune_and_persists(
+        self, monkeypatch, tmp_path
+    ):
+        import repro.tune as tune
+
+        monkeypatch.setenv(tune.TUNE_AUTO_ENV, "1")
+        calls = []
+
+        def fake_autotune(spec=None, save=True, directory=None, **kwargs):
+            calls.append((save, directory))
+            profile = _profile(self._spec_fp())
+            if save:
+                save_profile(profile, directory=directory)
+            return profile
+
+        monkeypatch.setattr(tune, "autotune", fake_autotune)
+        announced = []
+        got = tune.ensure_profile(
+            directory=tmp_path, on_tune=lambda: announced.append(True)
+        )
+        assert calls == [(True, tmp_path)]
+        assert announced == [True]
+        assert got is not None
+        # Second call resolves from disk: no measurement.
+        monkeypatch.setattr(
+            tune, "autotune", lambda **k: pytest.fail("must not re-measure")
+        )
+        assert tune.ensure_profile(directory=tmp_path) == got
+
+    def test_dry_run_opts_out(self, monkeypatch, tmp_path):
+        import repro.tune as tune
+
+        monkeypatch.setenv(tune.TUNE_AUTO_ENV, "1")
+        monkeypatch.setattr(
+            tune, "autotune", lambda **k: pytest.fail("must not measure")
+        )
+        assert tune.ensure_profile(directory=tmp_path, dry_run=True) is None
+
+    @pytest.mark.parametrize("value", ("0", "no", "false", "OFF"))
+    def test_env_opts_out(self, monkeypatch, tmp_path, value):
+        import repro.tune as tune
+
+        monkeypatch.setenv(tune.TUNE_AUTO_ENV, value)
+        monkeypatch.setattr(
+            tune, "autotune", lambda **k: pytest.fail("must not measure")
+        )
+        assert tune.ensure_profile(directory=tmp_path) is None

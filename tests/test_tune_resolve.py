@@ -187,8 +187,12 @@ class TestConsumptionSites:
 
         assert "50_000\n" not in inspect.getsource(gpu_mod.HardwareGpu)
         assert "50000" not in inspect.getsource(gpu_mod.HardwareGpu)
-        source = inspect.getsource(
-            functional_mod.FunctionalSimulator.__init__
-        )
-        assert "= 32" not in source
-        assert "tune_resolve" in source
+        # Slab resolution moved out of __init__ into the per-launch
+        # grid_batch_blocks_for (and the launch-free property).
+        for accessor in (
+            functional_mod.FunctionalSimulator.grid_batch_blocks.fget,
+            functional_mod.FunctionalSimulator.grid_batch_blocks_for,
+        ):
+            source = inspect.getsource(accessor)
+            assert "= 32" not in source
+            assert "tune_resolve" in source
