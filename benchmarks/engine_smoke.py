@@ -42,6 +42,16 @@ the batched interpreter and through the symbolic engine, demanding
 identical aggregates, at least ``SYMBOLIC_MIN_SPEEDUP``x, and a
 symbolic wall-clock that stays flat as the grid grows 16x.
 
+A sixth gate covers the *fault-tolerant execution substrate*: the
+SpMV small grid runs healthy and serial once, then again through the
+process pool with deterministic faults injected (a worker crash, a hung
+task reaped by the watchdog, a corrupted trace-cache entry, a timing-
+layer worker crash).  Every degraded run must complete, stay pickle-
+byte-identical to the healthy serial reference, and report the injected
+failures in its health counters.  ``--chaos`` runs only this gate
+(used by CI's chaos step, typically with ``$REPRO_FAULTS`` set so the
+pool layer also proves it honors environment-installed plans).
+
 ``--check`` additionally writes every gate's measurements (instr/sec,
 speedups, cycle counts) to a machine-readable JSON file (default
 ``BENCH_engine_smoke.json``, ``--json PATH`` to relocate) that CI
@@ -132,6 +142,15 @@ SYMBOLIC_MIN_SPEEDUP = 10.0
 #: synthesis is per class, not per block (3x absorbs timer noise on
 #: sub-second runs).
 SYMBOLIC_MAX_GRID_RATIO = 3.0
+
+#: Chaos-gate workload: a small data-dependent SpMV lattice (no dedup,
+#: so the grid genuinely fans out across the pool) with per-task
+#: chunking forced fine enough to give every injected fault a target.
+CHAOS_DIMS = (4, 4, 4, 4)
+
+#: Watchdog budget for the chaos gate's hung task (generous against
+#: slow shared runners; the injected hang sleeps far longer).
+CHAOS_TASK_TIMEOUT = 5.0
 
 
 def run_once() -> dict:
@@ -388,6 +407,125 @@ def run_symbolic() -> dict:
     }
 
 
+def run_chaos() -> dict:
+    """Fault-injection gate: degraded runs must equal the healthy one.
+
+    Exercises the self-healing pool end to end -- worker crash with
+    retry, hung-task watchdog with serial re-execution, trace-cache
+    corruption with quarantine, and a timing-layer worker crash -- and
+    demands that every degraded run is pickle-byte-identical (after
+    normalizing the telemetry fields, which legitimately differ) to the
+    healthy serial reference, with the faults visible in the health
+    counters.
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from repro import faults as faults_mod
+    from repro.apps.matrices import qcd_like
+    from repro.faults import FaultPlan
+    from repro.pool import HealthRecord
+
+    lattice = qcd_like(dims=CHAOS_DIMS)
+    base = spmv.prepare_problem(lattice, "ell")
+    kernel = spmv.build_kernel_for(base)
+    launch = base.launch()
+
+    def engine_run(workers, cache=None, plan=None, timeout=None):
+        problem = spmv.prepare_problem(lattice, "ell")
+        engine = SimulationEngine(
+            kernel,
+            gmem=problem.gmem,
+            workers=workers,
+            cache_dir=cache,
+            faults=plan,
+            task_timeout=timeout,
+        )
+        engine.simulator.grid_batch_blocks = 2
+        return engine.run(problem.launch())
+
+    def normalized(trace):
+        return pickle.dumps(replace(trace, engine_stats=None))
+
+    healthy = engine_run(0)
+    reference = normalized(healthy)
+
+    start = time.perf_counter()
+    faulted = engine_run(
+        2,
+        plan=FaultPlan(
+            crash_task=1, crash_attempts=1, hang_task=0, hang_seconds=60.0
+        ),
+        timeout=CHAOS_TASK_TIMEOUT,
+    )
+    pool_seconds = time.perf_counter() - start
+    pool_health = faulted.engine_stats.health
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        engine_run(0, cache=cache_dir)  # populate the trace cache
+        corrupted = engine_run(
+            0, cache=cache_dir, plan=FaultPlan(corrupt_read=0)
+        )
+    cache_health = corrupted.engine_stats.health
+
+    table = healthy.block_traces
+    serial_run = HardwareGpu(min_parallel_events=0).measure(
+        table, launch.num_blocks, 4
+    )
+    with faults_mod.injected(crash_task=1, crash_attempts=1):
+        crashed_run = HardwareGpu(workers=2, min_parallel_events=0).measure(
+            table, launch.num_blocks, 4
+        )
+
+    def run_bytes(run):
+        return pickle.dumps(replace(run, health=HealthRecord()))
+
+    return {
+        "blocks": launch.num_blocks,
+        "pool_seconds": pool_seconds,
+        "pool_identical": normalized(faulted) == reference,
+        "worker_crashes": pool_health.worker_crashes,
+        "timeouts": pool_health.timeouts,
+        "retries": pool_health.pool_retries,
+        "serial_fallbacks": pool_health.serial_fallbacks,
+        "cache_identical": normalized(corrupted) == reference,
+        "cache_quarantines": cache_health.cache_quarantines,
+        "timing_identical": run_bytes(crashed_run) == run_bytes(serial_run),
+        "timing_worker_crashes": crashed_run.health.worker_crashes,
+    }
+
+
+def check_chaos(chaos: dict) -> int:
+    """Evaluate the chaos gate; print the verdicts, return exit code."""
+    print(
+        f"chaos {chaos['blocks']} spmv blocks: pooled+faults "
+        f"{chaos['pool_seconds']:.2f} s "
+        f"({chaos['worker_crashes']} crashes, {chaos['timeouts']} timeouts, "
+        f"{chaos['retries']} retries, "
+        f"{chaos['serial_fallbacks']} serial fallbacks, "
+        f"{chaos['cache_quarantines']} cache quarantines)"
+    )
+    if not chaos["pool_identical"]:
+        print("FAIL: fault-injected engine run differs from healthy serial")
+        return 1
+    if not chaos["worker_crashes"] or not chaos["timeouts"]:
+        print("FAIL: injected crash/hang not visible in health counters")
+        return 1
+    if not chaos["cache_identical"]:
+        print("FAIL: corrupted-cache run differs from healthy serial")
+        return 1
+    if not chaos["cache_quarantines"]:
+        print("FAIL: corrupted cache entry was not quarantined")
+        return 1
+    if not chaos["timing_identical"]:
+        print("FAIL: fault-injected measurement differs from serial timing")
+        return 1
+    if not chaos["timing_worker_crashes"]:
+        print("FAIL: timing-layer crash not visible in health counters")
+        return 1
+    return 0
+
+
 def write_perf_json(path: Path, payload: dict) -> None:
     """Record the perf trajectory for the CI artifact (machine-readable)."""
     payload = dict(payload)
@@ -401,6 +539,12 @@ def main(argv: list[str] | None = None) -> int:
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--check", action="store_true")
     mode.add_argument("--update", action="store_true")
+    mode.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run only the fault-injection gate (CI chaos step; any "
+        "$REPRO_FAULTS plan stays active on top of the injected ones)",
+    )
     parser.add_argument(
         "--json",
         type=Path,
@@ -409,11 +553,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.chaos:
+        env_plan = os.environ.get("REPRO_FAULTS")
+        if env_plan:
+            print(f"chaos: $REPRO_FAULTS active: {env_plan}")
+        if check_chaos(run_chaos()):
+            return 1
+        print("chaos gate OK")
+        return 0
+
     result = run_once()
     timing = run_timing()
     functional = run_functional()
     barrier = run_barrier()
     symbolic = run_symbolic()
+    chaos = run_chaos()
     if args.check:
         # Record the trajectory *before* evaluating any gate, so a
         # failing run still uploads the measurements that explain it.
@@ -425,6 +579,7 @@ def main(argv: list[str] | None = None) -> int:
                 "functional": functional,
                 "barrier": barrier,
                 "symbolic": symbolic,
+                "chaos": chaos,
             },
         )
         print(f"perf trajectory written: {args.json}")
@@ -556,6 +711,9 @@ def main(argv: list[str] | None = None) -> int:
             f"grid (limit {SYMBOLIC_MAX_GRID_RATIO}x); per-block synthesis "
             "cost is no longer grid-independent"
         )
+        return 1
+
+    if check_chaos(chaos):
         return 1
 
     if args.update:

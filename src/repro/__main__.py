@@ -84,7 +84,9 @@ def _make_model(args):
     if not getattr(args, "no_cache", False):
         measure_cache = str(default_measure_cache_dir())
     gpu = HardwareGpu(
-        workers=getattr(args, "workers", 0), cache_dir=measure_cache
+        workers=getattr(args, "workers", 0),
+        cache_dir=measure_cache,
+        task_timeout=getattr(args, "task_timeout", None),
     )
     if args.calibration:
         tables = CalibrationTables.load(args.calibration, gpu=gpu)
@@ -112,7 +114,11 @@ def _engine_kwargs(args) -> dict:
     trace_cache = None
     if not getattr(args, "no_cache", False):
         trace_cache = str(default_trace_cache_dir())
-    return {"workers": args.workers, "trace_cache": trace_cache}
+    return {
+        "workers": args.workers,
+        "trace_cache": trace_cache,
+        "task_timeout": getattr(args, "task_timeout", None),
+    }
 
 
 def _ensure_tuned(args) -> None:
@@ -141,6 +147,36 @@ def _print_run(run) -> None:
     print(f"model error          : {run.model_error:.1%}")
 
 
+def _run_as_json(run, **extra) -> str:
+    """Machine-readable case-study result, health telemetry included.
+
+    ``engine.health`` and ``measured.health`` carry the degradation
+    counters (pool retries, serial fallbacks, cache quarantines, ...);
+    both are all-zero dicts on a healthy run, so consumers can alert on
+    any nonzero value without knowing the field names in advance.
+    """
+    import dataclasses
+    import json
+
+    stats = run.trace.engine_stats
+    payload = {
+        "name": run.name,
+        "predicted_ms": run.report.predicted_milliseconds,
+        "measured_ms": run.measured.milliseconds,
+        "model_error": run.model_error,
+        "bottleneck": run.report.bottleneck,
+        "engine": dataclasses.asdict(stats) if stats is not None else None,
+        "measured": {
+            "cycles": run.measured.cycles,
+            "extrapolated": run.measured.extrapolated,
+            "from_cache": run.measured.from_cache,
+            "health": dataclasses.asdict(run.measured.health),
+        },
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def _cmd_matmul(args) -> int:
     from repro.apps.matmul import gflops, run_matmul
 
@@ -153,6 +189,9 @@ def _cmd_matmul(args) -> int:
         representative=not args.full,
         **_engine_kwargs(args),
     )
+    if args.json:
+        print(_run_as_json(run, gflops=gflops(args.n, run.measured.seconds)))
+        return 0
     print(f"\nSGEMM {args.n}x{args.n}, {args.tile}x{args.tile} sub-matrices")
     _print_run(run)
     print(f"effective            : {gflops(args.n, run.measured.seconds):.0f} GFLOPS")
@@ -172,6 +211,9 @@ def _cmd_tridiag(args) -> int:
         representative=not args.full,
         **_engine_kwargs(args),
     )
+    if args.json:
+        print(_run_as_json(run))
+        return 0
     name = "CR-NBC" if args.padded else "CR"
     print(f"\n{name}: {args.systems} systems x {args.n} equations")
     _print_run(run)
@@ -193,6 +235,9 @@ def _cmd_spmv(args) -> int:
         sample_blocks=None if args.full else 12,
         **_engine_kwargs(args),
     )
+    if args.json:
+        print(_run_as_json(run, gflops=gflops(matrix, run.measured.seconds)))
+        return 0
     print(f"\nSpMV {args.format} on synthetic QCD ({matrix.n}^2)")
     _print_run(run)
     print(f"effective            : {gflops(matrix, run.measured.seconds):.1f} GFLOPS")
@@ -356,6 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="simulate the full grid (deduplicated, exact) instead of a "
             "representative sample",
+        )
+        case.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-task watchdog for pooled work: a hung worker is "
+            "killed after this long and its task re-executed serially "
+            "(default: $REPRO_POOL_TIMEOUT, else no timeout)",
+        )
+        case.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the result as JSON (predictions, measurement, "
+            "engine stats and degradation-health counters)",
         )
         if name == "matmul":
             case.add_argument("--n", type=int, default=512)

@@ -73,6 +73,7 @@ def execute(
     engine: bool = True,
     workers: int = 0,
     trace_cache: str | None = None,
+    task_timeout: float | None = None,
 ) -> AppRun:
     """Run the full workflow on one kernel launch.
 
@@ -93,6 +94,7 @@ def execute(
             spec=spec,
             workers=workers,
             cache_dir=trace_cache,
+            task_timeout=task_timeout,
         )
         trace = sim_engine.run(launch, blocks=sample_blocks)
     else:
@@ -109,7 +111,9 @@ def execute(
     if measure:
         # The default timing simulator shares the engine's pool width;
         # callers wanting the measured-run cache pass their own gpu.
-        gpu = gpu or HardwareGpu(spec=spec, workers=workers)
+        gpu = gpu or HardwareGpu(
+            spec=spec, workers=workers, task_timeout=task_timeout
+        )
         measured = gpu.measure(
             trace.block_traces if len(trace.block_traces) > 1
             else trace.block_traces[0],

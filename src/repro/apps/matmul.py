@@ -187,6 +187,7 @@ def run_matmul(
     seed: int = 7,
     workers: int = 0,
     trace_cache: str | None = None,
+    task_timeout: float | None = None,
 ) -> AppRun:
     """Full workflow on one tile size.
 
@@ -209,6 +210,7 @@ def run_matmul(
         measure=measure,
         workers=workers,
         trace_cache=trace_cache,
+        task_timeout=task_timeout,
     )
 
 

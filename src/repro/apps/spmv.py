@@ -245,6 +245,7 @@ def run_spmv(
     seed: int = 13,
     workers: int = 0,
     trace_cache: str | None = None,
+    task_timeout: float | None = None,
 ) -> AppRun:
     """Full workflow on one storage format.
 
@@ -278,6 +279,7 @@ def run_spmv(
         use_cache=use_cache,
         workers=workers,
         trace_cache=trace_cache,
+        task_timeout=task_timeout,
     )
 
 

@@ -339,6 +339,7 @@ def run_cr(
     seed: int = 11,
     workers: int = 0,
     trace_cache: str | None = None,
+    task_timeout: float | None = None,
 ) -> AppRun:
     """The paper's experiment: 512 512-equation systems, CR or CR-NBC."""
     problem = prepare_problem(n, num_systems, seed)
@@ -355,6 +356,7 @@ def run_cr(
         measure=measure,
         workers=workers,
         trace_cache=trace_cache,
+        task_timeout=task_timeout,
     )
 
 

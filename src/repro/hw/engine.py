@@ -29,7 +29,7 @@ from dataclasses import replace
 from repro.arch.specs import GpuSpec
 from repro.hw.cluster import BlockWork, ClusterResult, simulate_cluster
 from repro.hw.config import HwConfig
-from repro.pool import map_tasks
+from repro.pool import PoolHealth, map_tasks
 from repro.sim.trace import stream_digest
 from repro.util import VersionedPickleCache
 
@@ -42,7 +42,8 @@ __all__ = [
 
 #: Bump when timing semantics or MeasuredRun's schema change: a stale
 #: memoized measurement must never masquerade as current silicon.
-HW_CACHE_VERSION = 1
+#: v2: MeasuredRun carries a ``health`` degradation record.
+HW_CACHE_VERSION = 2
 
 #: One timing job: per-SM block queues plus the residency limit.
 ClusterJob = tuple  # (sm_queues, resident_per_sm)
@@ -67,12 +68,17 @@ def simulate_clusters(
     config: HwConfig | None,
     use_cache: bool,
     workers: int = 0,
+    task_timeout: float | None = None,
+    health: PoolHealth | None = None,
 ) -> list[ClusterResult]:
     """Simulate cluster jobs, preserving order; parallel when configured.
 
     Every job is an independent pure function of its arguments, so the
     pooled results are bit-identical to a serial loop and the caller can
-    aggregate them deterministically in job order.
+    aggregate them deterministically in job order.  Worker deaths and
+    hung tasks (``task_timeout``) degrade to in-process re-execution of
+    the affected jobs -- still bit-identical -- with the counters
+    recorded in ``health`` (see :mod:`repro.pool`).
     """
     return map_tasks(
         jobs,
@@ -83,6 +89,8 @@ def simulate_clusters(
         worker_fn=_run_cluster_task,
         initializer=_init_worker,
         initargs=(spec, config, use_cache),
+        task_timeout=task_timeout,
+        health=health,
     )
 
 
@@ -104,11 +112,14 @@ class MeasuredRunCache(VersionedPickleCache):
 
     def load(self, key: str):
         from repro.hw.gpu import MeasuredRun
+        from repro.pool import HealthRecord
 
         run = self.load_payload(key)
         if not isinstance(run, MeasuredRun):
             return None
-        return replace(run, from_cache=True)
+        # Health describes the current run, not the one that populated
+        # the cache: a hit simulated nothing, so nothing degraded.
+        return replace(run, from_cache=True, health=HealthRecord())
 
     def store(self, key: str, run) -> None:
         self.store_payload(key, run)

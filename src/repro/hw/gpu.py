@@ -23,7 +23,7 @@ pool (:mod:`repro.pool`), and whole measurements are memoized on disk
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.specs import GpuSpec, GTX285
 from repro.errors import HardwareModelError
@@ -34,6 +34,7 @@ from repro.hw.engine import (
     MeasuredRunCache,
     simulate_clusters,
 )
+from repro.pool import HealthRecord, PoolHealth
 from repro.sim.trace import BlockTrace
 from repro.tune import resolve as tune_resolve
 from repro.util import spec_fingerprint
@@ -59,6 +60,9 @@ class MeasuredRun:
     cluster_sims: int = 0
     signature_hits: int = 0
     from_cache: bool = False
+    #: Degradation record for this measurement (pool retries/timeouts/
+    #: serial fallbacks, cache quarantines); all-zero when healthy.
+    health: HealthRecord = HealthRecord()
 
     @property
     def milliseconds(self) -> float:
@@ -86,6 +90,10 @@ class HardwareGpu:
         ``$REPRO_TUNE_MIN_PARALLEL_EVENTS``, then the machine's
         persisted tuning profile (``repro tune run``), then the
         built-in default.
+    task_timeout:
+        Per-task watchdog budget (seconds) for pooled cluster jobs; a
+        hung worker is killed after this long and its job re-executed
+        in-process.  ``None`` defers to ``$REPRO_POOL_TIMEOUT``.
     """
 
     def __init__(
@@ -95,10 +103,12 @@ class HardwareGpu:
         workers: int = 0,
         cache_dir: str | None = None,
         min_parallel_events: int | None = None,
+        task_timeout: float | None = None,
     ) -> None:
         self.spec = spec
         self.config = config or HwConfig()
         self.workers = max(0, int(workers))
+        self.task_timeout = task_timeout
         self.min_parallel_events = tune_resolve(
             "min_parallel_events",
             kwarg=min_parallel_events,
@@ -160,6 +170,9 @@ class HardwareGpu:
         counts = self._block_counts(num_blocks, num_clusters, sms_per_cluster)
         class_ids, class_digests = self._class_table(traces)
 
+        pool_health = PoolHealth()
+        cache_quarantines = self.cache.quarantines if self.cache else 0
+        cache_write_errors = self.cache.write_errors if self.cache else 0
         key = None
         if self.cache is not None and sim_clusters is None:
             key = self._measure_key(
@@ -178,7 +191,7 @@ class HardwareGpu:
         run = None
         if homogeneous and wave_extrapolation:
             run = self._measure_homogeneous(
-                works[0], counts, resident_per_sm, use_cache
+                works[0], counts, resident_per_sm, use_cache, pool_health
             )
         if run is None:
             run = self._measure_clusters(
@@ -190,9 +203,26 @@ class HardwareGpu:
                 use_cache,
                 sim_clusters,
                 dedup,
+                pool_health,
             )
         if key is not None:
             self.cache.store(key, run)
+        # Attached after the store: a failed store must show, and the
+        # cached copy's health is replaced on every hit anyway.
+        record = pool_health.record(
+            cache_quarantines=(
+                (self.cache.quarantines - cache_quarantines)
+                if self.cache
+                else 0
+            ),
+            cache_write_errors=(
+                (self.cache.write_errors - cache_write_errors)
+                if self.cache
+                else 0
+            ),
+        )
+        if record != HealthRecord():
+            run = replace(run, health=record)
         return run
 
     # ------------------------------------------------------------------
@@ -319,6 +349,7 @@ class HardwareGpu:
         use_cache: bool,
         sim_clusters: list[int] | None,
         dedup: bool,
+        health: PoolHealth | None = None,
     ) -> MeasuredRun:
         """Signature-deduplicated, optionally parallel cluster timing."""
         num_clusters = self.spec.memory.num_clusters
@@ -385,6 +416,8 @@ class HardwareGpu:
             self.config,
             use_cache,
             self._effective_workers(jobs),
+            task_timeout=self.task_timeout,
+            health=health,
         )
 
         cluster_cycles: list[float] = []
@@ -414,6 +447,7 @@ class HardwareGpu:
         counts: list[list[int]],
         resident_per_sm: int,
         use_cache: bool,
+        health: PoolHealth | None = None,
     ) -> MeasuredRun | None:
         """Steady-state wave extrapolation for big homogeneous grids.
 
@@ -456,6 +490,8 @@ class HardwareGpu:
             self.config,
             use_cache,
             self._effective_workers(jobs),
+            task_timeout=self.task_timeout,
+            health=health,
         )
         one, two = results[0], results[1]
         delta = two.cycles - one.cycles

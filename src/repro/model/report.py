@@ -92,6 +92,9 @@ class PerformanceReport:
         ]
         if self.engine_stats is not None:
             lines.append(f"engine               : {self.engine_stats.summary()}")
+            health = getattr(self.engine_stats, "health", None)
+            if health is not None and health.degraded:
+                lines.append(f"degraded             : {health.summary()}")
         if self.diagnostics.causes:
             lines.append("causes:")
             lines.extend(f"  - {cause}" for cause in self.diagnostics.causes)

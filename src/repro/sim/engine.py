@@ -48,7 +48,13 @@ from repro.errors import AnalysisError, LaunchError, ReproError
 from repro.isa.instructions import MemRef, Pred, Reg, Special
 from repro.isa.opcodes import OpKind
 from repro.isa.program import Kernel
-from repro.pool import map_tasks, start_method
+from repro.pool import (
+    HealthRecord,
+    PoolHealth,
+    map_tasks,
+    release_segment,
+    start_method,
+)
 from repro.sim.functional import FunctionalSimulator, LaunchConfig
 from repro.sim.memory import GlobalMemory
 from repro.util import VersionedPickleCache, spec_fingerprint
@@ -57,6 +63,7 @@ from repro.sim.trace import (
     KernelTrace,
     aggregate_blocks,
     aggregate_weighted,
+    intern_stage_strings,
 )
 
 #: Bump when trace or aggregation semantics change: invalidates caches.
@@ -76,7 +83,9 @@ from repro.sim.trace import (
 #: key), so ``simulated_blocks``/``synthesized_classes`` changed for
 #: affine grids; the slab width resolves per launch from the launch's
 #: warps-per-block.
-ENGINE_CACHE_VERSION = 6
+#: v7: EngineStats carries a ``health`` degradation record
+#: (:class:`repro.pool.HealthRecord`), so cached stats gained a field.
+ENGINE_CACHE_VERSION = 7
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)
@@ -358,6 +367,10 @@ class EngineStats:
     #: signal for data-dependent kernels under ``trace_mode="symbolic"``.
     synthesized_classes: int = 0
     interpreted_classes: int = 0
+    #: Degradation record for this run: pool retries/timeouts/serial
+    #: fallbacks, cache quarantines, shm fallbacks, analysis fallbacks.
+    #: All-zero on a healthy run.
+    health: HealthRecord = HealthRecord()
 
     def summary(self) -> str:
         cache = "cache hit" if self.cache_hit else "cache miss"
@@ -505,6 +518,12 @@ def find_cross_block_raw(
 # ----------------------------------------------------------------------
 _WORKER_STATE: tuple[FunctionalSimulator, LaunchConfig] | None = None
 
+#: Sentinel first element of _WORKER_STATE when the shared-memory arena
+#: attach failed in the initializer: tasks then raise an ordinary
+#: exception instead of killing the worker, and the pool layer degrades
+#: them to the serial (pickle-free) reference instead of aborting.
+_ATTACH_FAILED = "shm-attach-failed"
+
 
 def _init_worker(
     kernel, gmem, spec, max_warp_instructions, launch, batched,
@@ -514,7 +533,14 @@ def _init_worker(
     if isinstance(gmem, dict):
         # Shared-memory arena descriptor (see GlobalMemory.share):
         # attach, copy into private worker memory, verify the digest.
-        gmem = GlobalMemory.from_shared(gmem)
+        # An attach failure must not crash the initializer (that breaks
+        # the whole pool); it is deferred to the tasks as an ordinary,
+        # serially recoverable error.
+        try:
+            gmem = GlobalMemory.from_shared(gmem)
+        except Exception as exc:
+            _WORKER_STATE = (_ATTACH_FAILED, repr(exc))
+            return
     simulator = FunctionalSimulator(
         kernel,
         gmem=gmem,
@@ -528,6 +554,11 @@ def _init_worker(
 
 def _run_chunk_task(chunk: list[tuple[int, int]]) -> list[BlockTrace]:
     simulator, launch = _WORKER_STATE
+    if simulator == _ATTACH_FAILED:
+        raise ReproError(
+            f"worker could not attach the shared global-memory arena "
+            f"({launch}); falling back to serial execution"
+        )
     return simulator.run_blocks(launch, chunk)
 
 
@@ -580,6 +611,16 @@ class SimulationEngine:
         raises :class:`~repro.errors.AnalysisError` unless the two
         traces are pickle-byte-identical -- the differential audit
         mirroring ``dedup_verify="both"``.
+    task_timeout:
+        Per-task watchdog budget (seconds) for pooled simulation tasks;
+        a hung worker is killed after this long and its task re-executed
+        serially.  ``None`` defers to ``$REPRO_POOL_TIMEOUT`` (unset
+        disables the watchdog).
+    faults:
+        Optional fault-injection plan (:class:`repro.faults.FaultPlan`
+        or a ``$REPRO_FAULTS``-style string) activated for the duration
+        of each :meth:`run` -- chaos testing without mutating global
+        state permanently.
     """
 
     def __init__(
@@ -594,6 +635,8 @@ class SimulationEngine:
         grid_batch_blocks: int | None = None,
         dedup_verify: str = "proof",
         trace_mode: str = "symbolic",
+        task_timeout: float | None = None,
+        faults=None,
     ) -> None:
         if dedup_verify not in ("proof", "probe", "both"):
             raise ReproError(
@@ -623,6 +666,15 @@ class SimulationEngine:
         )
         self.dependence = analyze_dependence(kernel)
         self.cache = TraceCache(cache_dir) if cache_dir is not None else None
+        self.task_timeout = task_timeout
+        from repro.faults import parse_plan
+
+        self.faults_plan = parse_plan(faults) if isinstance(faults, str) else faults
+        # Per-run degradation accumulators, reset at the top of run().
+        self._pool_health = PoolHealth()
+        self._shm_fallbacks = 0
+        self._proof_fallbacks = 0
+        self._symbolic_fallbacks = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -639,7 +691,31 @@ class SimulationEngine:
         (per-stage scaling, ``exact=False`` unless the sample is the
         grid).
         """
+        from contextlib import nullcontext
+
+        from repro import faults as faults_mod
+
+        context = (
+            faults_mod.injected(self.faults_plan)
+            if self.faults_plan is not None
+            else nullcontext()
+        )
+        with context:
+            return self._run(launch, blocks, dedup)
+
+    def _run(
+        self,
+        launch: LaunchConfig,
+        blocks: list[tuple[int, int]] | None,
+        dedup: bool,
+    ) -> KernelTrace:
         started = time.perf_counter()
+        self._pool_health = PoolHealth()
+        self._shm_fallbacks = 0
+        self._proof_fallbacks = 0
+        self._symbolic_fallbacks = 0
+        cache_quarantines = self.cache.quarantines if self.cache else 0
+        cache_write_errors = self.cache.write_errors if self.cache else 0
         if blocks is not None:
             blocks = list(blocks)
             if not blocks:
@@ -650,10 +726,14 @@ class SimulationEngine:
             if cached is not None:
                 stats = cached.engine_stats
                 if isinstance(stats, EngineStats):
+                    # Health describes *this* run, not the run that
+                    # populated the cache: a hit simulated nothing, so
+                    # nothing can have degraded.
                     stats = replace(
                         stats,
                         cache_hit=True,
                         wall_seconds=time.perf_counter() - started,
+                        health=HealthRecord(),
                     )
                 cached.engine_stats = stats
                 # Cached block traces carry their footprints: warm runs
@@ -671,6 +751,26 @@ class SimulationEngine:
 
         if key is not None:
             self.cache.store(key, trace)
+        # Attached after the store so a failed store itself shows up;
+        # the cached copy's health is replaced on every hit anyway.
+        trace.engine_stats = replace(
+            stats,
+            health=self._pool_health.record(
+                cache_quarantines=(
+                    (self.cache.quarantines - cache_quarantines)
+                    if self.cache
+                    else 0
+                ),
+                cache_write_errors=(
+                    (self.cache.write_errors - cache_write_errors)
+                    if self.cache
+                    else 0
+                ),
+                shm_fallbacks=self._shm_fallbacks,
+                proof_fallbacks=self._proof_fallbacks,
+                symbolic_fallbacks=self._symbolic_fallbacks,
+            ),
+        )
         return trace
 
     # ------------------------------------------------------------------
@@ -747,6 +847,13 @@ class SimulationEngine:
                     self.kernel, launch, cls.members, self.gmem
                 ):
                     proved.add(index)
+        # Multi-member classes the proof did not certify fall back to
+        # probe simulation (all of them, under dedup_verify="probe").
+        self._proof_fallbacks = sum(
+            1
+            for index, cls in enumerate(classes)
+            if cls.verifiers and index not in proved
+        )
 
         # Phase 0.5: symbolic synthesis.  A class whose equivalence is
         # settled without probes (singleton, or certified by the proof)
@@ -778,6 +885,7 @@ class SimulationEngine:
                     synthesized[index] = synthesizer.synthesize(
                         launch, cls.representative
                     )
+            self._symbolic_fallbacks = len(classes) - len(synthesized)
 
         # Phase 1: representatives plus the verification members of
         # every unproved multi-member class, all simulated in one
@@ -930,6 +1038,8 @@ class SimulationEngine:
             gmem_arg, segment = shared
         else:
             gmem_arg, segment = self.gmem, None
+        health = self._pool_health
+        fallbacks_before = health.serial_fallbacks
         try:
             results = map_tasks(
                 chunks,
@@ -948,15 +1058,30 @@ class SimulationEngine:
                     self.batched,
                     step,
                 ),
+                task_timeout=self.task_timeout,
+                health=health,
             )
         finally:
             if segment is not None:
-                segment.close()
-                try:
-                    segment.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-        return [trace for chunk_traces in results for trace in chunk_traces]
+                # Tracked at creation (GlobalMemory.share); releasing is
+                # idempotent, so the interrupt/atexit safety nets and
+                # this finally can both fire.
+                release_segment(segment)
+        if segment is not None:
+            # Tasks that degraded to the serial reference while the
+            # shared arena was the transport: attach failures and any
+            # other worker loss end up here, executed against the
+            # caller's own arena -- bit-identical, pickle-free.
+            self._shm_fallbacks += health.serial_fallbacks - fallbacks_before
+        # Unpickled worker results carry per-chunk copies of strings the
+        # in-process interpreter shares grid-wide; re-interning keeps a
+        # pooled (or partially serial-recovered) run's aggregate
+        # pickle-byte-identical to the serial reference.
+        return [
+            intern_stage_strings(trace)
+            for chunk_traces in results
+            for trace in chunk_traces
+        ]
 
     def _warn_cross_block_raw(self, traces: list[BlockTrace]) -> None:
         """Warn when simulated blocks read ranges other blocks wrote.

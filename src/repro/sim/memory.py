@@ -146,6 +146,13 @@ class GlobalMemory:
             )
         except OSError:  # pragma: no cover - e.g. unwritable /dev/shm
             return None
+        # Guaranteed cleanup: the owner should release_segment() in a
+        # finally block, but tracking means an interrupted or crashed
+        # run still unlinks the segment (KeyboardInterrupt handler in
+        # repro.pool, atexit as the last resort).
+        from repro.pool import track_segment
+
+        track_segment(segment)
         buffer = np.ndarray(words, dtype=np.float64, buffer=segment.buf)
         np.copyto(buffer, self._data[:words])
         descriptor = {
@@ -169,8 +176,17 @@ class GlobalMemory:
         pickling path) and then detaches.  The copy is verified against
         the descriptor's content digest: workers are guaranteed to see
         the pre-launch contents unchanged.
+
+        An attach failure (segment vanished, /dev/shm pressure, digest
+        mismatch, injected fault) raises; the pool layer treats that as
+        an environmental task failure and re-executes the task through
+        the serial reference instead of aborting the run.
         """
         from multiprocessing import resource_tracker, shared_memory
+
+        from repro import faults
+
+        faults.on_shm_attach(descriptor["shm_name"])
 
         # CPython < 3.13 registers even plain *attaches* with the
         # resource tracker, which double-counts the owner's segment and

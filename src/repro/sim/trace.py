@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import sys
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -193,6 +194,32 @@ def stream_digest(warp_streams: list[list[Event]]) -> str:
     return hashlib.sha256(
         pickle.dumps(warp_streams, protocol=pickle.HIGHEST_PROTOCOL)
     ).hexdigest()
+
+
+def intern_stage_strings(trace: "BlockTrace") -> "BlockTrace":
+    """Re-intern the string keys of a trace's per-stage mappings.
+
+    In-process interpretation shares one string object per opcode name,
+    type name and allocation name across every block (they come from
+    the kernel's constants); unpickling a pool worker's result instead
+    materializes fresh copies per chunk.  The values are equal either
+    way, but pickling a *list* of traces observes the sharing topology
+    (memo back-references), so a pooled run's aggregate would not be
+    byte-identical to the serial reference.  Interning restores one
+    shared object per distinct string; idempotent, mutates in place.
+    """
+    for stage in trace.stages:
+        stage.instructions = Counter(
+            {sys.intern(op): n for op, n in stage.instructions.items()}
+        )
+        stage.instr_by_type = {
+            sys.intern(name): n for name, n in stage.instr_by_type.items()
+        }
+        stage.global_by_array = {
+            sys.intern(name): per_gran
+            for name, per_gran in stage.global_by_array.items()
+        }
+    return trace
 
 
 def _plain_event(event: Event) -> Event:

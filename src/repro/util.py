@@ -1,4 +1,9 @@
-"""Small shared helpers with no intra-package dependencies."""
+"""Small shared helpers with (almost) no intra-package dependencies.
+
+The only sibling imported -- lazily, inside functions -- is
+:mod:`repro.faults`, whose injection hooks the cache layer consults so
+chaos tests can corrupt reads and fail writes deterministically.
+"""
 
 from __future__ import annotations
 
@@ -53,14 +58,26 @@ def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> bool:
     Used by the on-disk caches (calibration tables, trace memos): an
     unwritable cache root must never discard freshly computed results,
     so errors clean up best-effort and report ``False`` instead of
-    raising.
+    raising.  The temp file is fsynced before the replace so a crash
+    mid-write can never publish a truncated entry under the final name;
+    an fsync *error* still publishes (fail open -- the quarantine path
+    in :class:`VersionedPickleCache` recovers if the bytes were in fact
+    torn).
     """
+    from repro import faults
+
     path = os.fspath(path)
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
+        faults.on_cache_write(path)
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(tmp, "wb") as handle:
             handle.write(data)
+            try:
+                handle.flush()
+                os.fsync(handle.fileno())
+            except OSError:
+                pass
         os.replace(tmp, path)
         return True
     except OSError:
@@ -76,10 +93,14 @@ class VersionedPickleCache:
 
     One implementation of the rules every cache directory follows --
     versioned dict payloads, fail-open loads that refresh mtime for LRU
-    ordering, atomic stores followed by :func:`evict_lru` -- so the
-    trace and measured-run caches cannot drift apart.  Subclasses pass
-    their version constant and file suffix, and type-check the loaded
-    value.
+    ordering, atomic stores followed by :func:`evict_lru`, quarantine of
+    corrupt entries -- so the trace and measured-run caches cannot drift
+    apart.  Subclasses pass their version constant and file suffix, and
+    type-check the loaded value.
+
+    Degradation counters (read by the health telemetry): ``quarantines``
+    counts corrupt entries renamed to ``*.corrupt``; ``write_errors``
+    counts stores that failed open.
     """
 
     def __init__(
@@ -88,23 +109,52 @@ class VersionedPickleCache:
         self.directory = os.fspath(directory)
         self.version = version
         self.suffix = suffix
+        self.quarantines = 0
+        self.write_errors = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}{self.suffix}")
+
+    def _quarantine(self, path: str) -> None:
+        """Rename a corrupt entry to ``*.corrupt`` -- once.
+
+        A torn or bit-rotted entry must not be re-parsed (and re-fail)
+        on every lookup: the rename makes the next lookup a plain miss,
+        keeps the evidence on disk for inspection, and lets the LRU
+        eviction reclaim it eventually.  Best-effort: losing a race with
+        a concurrent quarantine (or an unwritable directory) is fine,
+        the entry simply stays a miss.
+        """
+        try:
+            os.replace(path, f"{path}.corrupt")
+            self.quarantines += 1
+        except OSError:
+            pass
 
     def load_payload(self, key: str):
         """The stored value for ``key``, or ``None`` on any miss.
 
         Unpickling arbitrary bytes can raise nearly anything; a broken
-        or version-mismatched entry is a miss, never a crash.
+        entry is quarantined and reported as a miss, never a crash.  A
+        well-formed entry of a different version is a plain miss (it is
+        valid data for older code, and the next store overwrites it).
         """
+        from repro import faults
+
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+                data = handle.read()
+        except OSError:
+            return None
+        data = faults.on_cache_read(data)
+        try:
+            payload = pickle.loads(data)
         except Exception:
+            self._quarantine(path)
             return None
         if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         if payload.get("version") != self.version:
             return None
@@ -126,6 +176,8 @@ class VersionedPickleCache:
             path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         ):
             evict_lru(self.directory, keep=(path,))
+        else:
+            self.write_errors += 1
 
 
 def cache_max_bytes() -> int:
