@@ -18,6 +18,15 @@ Commands
     Run the static kernel checker (:mod:`repro.analysis`) over the
     built-in app kernels; exits nonzero on any error-severity
     diagnostic (races, OOB accesses, divergent barriers).
+``specs``
+    The architecture registry (:mod:`repro.arch.registry`): ``list``
+    enumerates the registered generations (``--markdown`` emits the
+    ``docs/ARCHITECTURES.md`` reference), ``show`` prints one spec,
+    and ``crossval`` runs the held-out cross-GPU validation harness
+    (:mod:`repro.model.crossval`).
+
+Most commands take ``--spec NAME`` to run against any registered
+architecture generation instead of the GT200 baseline.
 """
 
 from __future__ import annotations
@@ -25,12 +34,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.arch.specs import GTX285
 from repro.sim.trace import TYPE_NAMES
 
 
-def _cmd_info(_args) -> int:
-    spec = GTX285
+def _resolve_spec(args):
+    """Registered spec selected by ``--spec`` (default: the baseline)."""
+    from repro.arch.registry import BASELINE, get_spec
+
+    return get_spec(getattr(args, "spec", None) or BASELINE)
+
+
+def _cmd_info(args) -> int:
+    spec = _resolve_spec(args)
     print(f"device               : {spec.name}")
     print(f"SMs                  : {spec.num_sms} @ {spec.core_clock_ghz} GHz")
     print(
@@ -58,10 +73,12 @@ def _cmd_info(_args) -> int:
 
 
 def _cmd_calibrate(args) -> int:
+    from repro.hw import HardwareGpu
     from repro.micro import calibrate
 
-    print("running microbenchmarks ...", file=sys.stderr)
-    tables = calibrate(iterations=args.iterations)
+    spec = _resolve_spec(args)
+    print(f"running microbenchmarks on {spec.name} ...", file=sys.stderr)
+    tables = calibrate(HardwareGpu(spec=spec), iterations=args.iterations)
     tables.save(args.output)
     print(f"calibration saved to {args.output}")
     return 0
@@ -80,10 +97,13 @@ def _make_model(args):
     # --workers governs both layers: the functional-simulation engine
     # and the timing simulator's cluster fan-out.  --no-cache likewise
     # disables the measured-run memo cache next to the trace cache.
+    # --spec selects the architecture; calibration caches are per-spec.
+    spec = _resolve_spec(args)
     measure_cache = None
     if not getattr(args, "no_cache", False):
         measure_cache = str(default_measure_cache_dir())
     gpu = HardwareGpu(
+        spec=spec,
         workers=getattr(args, "workers", 0),
         cache_dir=measure_cache,
         task_timeout=getattr(args, "task_timeout", None),
@@ -94,7 +114,7 @@ def _make_model(args):
         print("calibrating (cache disabled) ...", file=sys.stderr)
         tables = calibrate(gpu)
     else:
-        path = default_calibration_path()
+        path = default_calibration_path(spec)
         tables = load_or_calibrate(
             gpu,
             path=path,
@@ -103,7 +123,7 @@ def _make_model(args):
                 file=sys.stderr,
             ),
         )
-    return gpu, PerformanceModel(tables)
+    return gpu, PerformanceModel(tables, spec=spec)
 
 
 def _engine_kwargs(args) -> dict:
@@ -132,6 +152,7 @@ def _ensure_tuned(args) -> None:
     from repro.tune import default_tune_dir, ensure_profile
 
     ensure_profile(
+        spec=_resolve_spec(args),
         dry_run=getattr(args, "no_cache", False),
         on_tune=lambda: print(
             "measuring engine tuning parameters (profile will be "
@@ -186,6 +207,7 @@ def _cmd_matmul(args) -> int:
         args.tile,
         model=model,
         gpu=gpu,
+        spec=_resolve_spec(args),
         representative=not args.full,
         **_engine_kwargs(args),
     )
@@ -208,6 +230,7 @@ def _cmd_tridiag(args) -> int:
         padded=args.padded,
         model=model,
         gpu=gpu,
+        spec=_resolve_spec(args),
         representative=not args.full,
         **_engine_kwargs(args),
     )
@@ -231,6 +254,7 @@ def _cmd_spmv(args) -> int:
         args.format,
         model=model,
         gpu=gpu,
+        spec=_resolve_spec(args),
         use_cache=args.cache,
         sample_blocks=None if args.full else 12,
         **_engine_kwargs(args),
@@ -365,6 +389,96 @@ def _cmd_analyze(args) -> int:
     return 1 if error_count(reports) else 0
 
 
+def _cmd_specs(args) -> int:
+    return _SPECS_COMMANDS[args.specs_command](args)
+
+
+def _emit(text: str, path: str | None) -> None:
+    """Write to ``path``, or stdout when the path is ``-``."""
+    if path and path != "-":
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written: {path}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _cmd_specs_list(args) -> int:
+    from repro.arch.registry import entries, render_json, render_markdown
+
+    if args.markdown is not None:
+        _emit(render_markdown(), args.markdown)
+        return 0
+    if args.json:
+        print(render_json())
+        return 0
+    for entry in entries():
+        spec = entry.spec
+        print(
+            f"{entry.name:<14} {spec.name:<24} "
+            f"{spec.num_sms:>3} SMs @ {spec.core_clock_ghz:.2f} GHz, "
+            f"{spec.sm.max_warps:>2} warps/SM, "
+            f"{spec.peak_gflops:7.1f} GFLOPS, "
+            f"{spec.peak_global_bandwidth / 1e9:6.1f} GB/s global"
+        )
+    return 0
+
+
+def _cmd_specs_show(args) -> int:
+    from repro.arch.registry import describe, get_entry
+
+    entry = get_entry(args.name)
+    if args.json:
+        import json
+
+        print(json.dumps(describe(entry), indent=2, sort_keys=True))
+        return 0
+    payload = describe(entry)
+    print(f"registry name        : {entry.name}")
+    print(f"device               : {entry.spec.name}")
+    print(f"fingerprint          : {entry.fingerprint}")
+    print(f"provenance           : {entry.provenance}")
+    print(f"SMs                  : {payload['num_sms']} "
+          f"@ {payload['core_clock_ghz']} GHz")
+    print(f"functional units     : {payload['functional_units']}")
+    for section in ("sm", "memory", "derived"):
+        print(f"[{section}]")
+        for key, value in sorted(payload[section].items()):
+            print(f"  {key:<28} = {value}")
+    return 0
+
+
+def _cmd_specs_crossval(args) -> int:
+    from repro.micro.cache import default_trace_cache_dir
+    from repro.model.crossval import cross_validate
+
+    _ensure_tuned(args)
+    trace_cache = None
+    if not args.no_cache:
+        trace_cache = str(default_trace_cache_dir())
+    report = cross_validate(
+        targets=tuple(args.specs) if args.specs else None,
+        kernels=tuple(args.kernels) if args.kernels else None,
+        source=args.source,
+        warp_counts=tuple(args.warp_counts) if args.warp_counts else None,
+        iterations=args.iterations,
+        use_calibration_cache=not args.no_cache,
+        workers=args.workers,
+        trace_cache=trace_cache,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    emitted = False
+    if args.json is not None:
+        _emit(report.to_json(), args.json)
+        emitted = True
+    if args.markdown is not None:
+        _emit(report.render_markdown(), args.markdown)
+        emitted = True
+    if not emitted:
+        print(report.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -372,14 +486,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="print the modelled GPU specification")
+    def add_spec_flag(command) -> None:
+        command.add_argument(
+            "--spec",
+            metavar="NAME",
+            help="registered architecture generation to model "
+            "(see `repro specs list`; default: gt200)",
+        )
+
+    info = sub.add_parser("info", help="print the modelled GPU specification")
+    add_spec_flag(info)
 
     cal = sub.add_parser("calibrate", help="run microbenchmarks, save JSON")
     cal.add_argument("-o", "--output", default="calibration.json")
     cal.add_argument("--iterations", type=int, default=60)
+    add_spec_flag(cal)
 
     for name in ("matmul", "tridiag", "spmv"):
         case = sub.add_parser(name, help=f"run the {name} case study")
+        add_spec_flag(case)
         case.add_argument(
             "--calibration", help="reuse a saved calibration JSON"
         )
@@ -530,6 +655,105 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report as JSON instead of text",
     )
+
+    specs = sub.add_parser(
+        "specs",
+        help="architecture registry: list/show generations, cross-GPU "
+        "validation",
+    )
+    specs_sub = specs.add_subparsers(dest="specs_command", required=True)
+
+    specs_list = specs_sub.add_parser(
+        "list", help="list the registered architecture generations"
+    )
+    list_group = specs_list.add_mutually_exclusive_group()
+    list_group.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full registry (all spec fields, derived peaks, "
+        "provenance) as JSON",
+    )
+    list_group.add_argument(
+        "--markdown",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="emit the architecture reference document "
+        "(docs/ARCHITECTURES.md) to PATH, or stdout without PATH",
+    )
+
+    specs_show = specs_sub.add_parser(
+        "show", help="print one registered architecture in full"
+    )
+    specs_show.add_argument("name", help="registry name (see `specs list`)")
+    specs_show.add_argument(
+        "--json", action="store_true", help="emit the spec as JSON"
+    )
+
+    crossval = specs_sub.add_parser(
+        "crossval",
+        help="held-out cross-GPU validation: predict each kernel on "
+        "specs the model was not calibrated against",
+    )
+    crossval.add_argument(
+        "--specs",
+        action="append",
+        metavar="NAME",
+        help="target spec to predict on (repeatable; default: every "
+        "registered generation)",
+    )
+    crossval.add_argument(
+        "--kernel",
+        action="append",
+        dest="kernels",
+        metavar="NAME",
+        help="kernel-zoo workload (repeatable; default: all built-ins)",
+    )
+    crossval.add_argument(
+        "--source",
+        metavar="NAME",
+        help="calibrate on this spec for every target (default: "
+        "held-out pairing via the registry baseline)",
+    )
+    crossval.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="emit the report as JSON to PATH (stdout without PATH); "
+        "CI uploads this as BENCH_crossval.json",
+    )
+    crossval.add_argument(
+        "--markdown",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="emit the report as markdown to PATH (stdout without PATH)",
+    )
+    crossval.add_argument(
+        "--iterations",
+        type=int,
+        default=60,
+        help="microbenchmark iterations per calibration point",
+    )
+    crossval.add_argument(
+        "--warp-counts",
+        type=int,
+        nargs="+",
+        metavar="W",
+        help="calibration warp sweep (default: per-spec grid)",
+    )
+    crossval.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool width for simulation (0 = in-process)",
+    )
+    crossval.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the per-spec calibration and trace caches",
+    )
     return parser
 
 
@@ -541,6 +765,13 @@ _COMMANDS = {
     "spmv": _cmd_spmv,
     "tune": _cmd_tune,
     "analyze": _cmd_analyze,
+    "specs": _cmd_specs,
+}
+
+_SPECS_COMMANDS = {
+    "list": _cmd_specs_list,
+    "show": _cmd_specs_show,
+    "crossval": _cmd_specs_crossval,
 }
 
 _TUNE_COMMANDS = {
@@ -551,8 +782,16 @@ _TUNE_COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Domain errors (unknown spec/kernel names, malformed
+        # calibration files, ...) are user errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

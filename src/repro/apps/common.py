@@ -9,6 +9,7 @@ tests and benchmarks can compare model predictions with measurements.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.arch.occupancy import KernelResources, Occupancy, compute_occupancy
@@ -86,7 +87,17 @@ def execute(
     cache at ``trace_cache``.  Pass ``engine=False`` when the *numerical*
     results must land in ``gmem`` (validation paths): the engine only
     guarantees the statistics, not replicated blocks' memory writes.
+
+    ``spec`` may be any architecture (registry generations included):
+    the launch's traced coalescing granularities are extended to cover
+    the spec's minimum transaction segment, so the performance model
+    always finds statistics at the granularity it analyzes.
     """
+    gran = spec.memory.min_segment_bytes
+    if gran not in launch.granularities:
+        launch = dataclasses.replace(
+            launch, granularities=tuple(launch.granularities) + (gran,)
+        )
     if engine:
         sim_engine = SimulationEngine(
             kernel,

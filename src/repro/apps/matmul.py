@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, execute
+from repro.arch.specs import GTX285, GpuSpec
 from repro.errors import LaunchError
 from repro.hw.gpu import HardwareGpu
 from repro.isa.builder import KernelBuilder
@@ -188,6 +189,7 @@ def run_matmul(
     workers: int = 0,
     trace_cache: str | None = None,
     task_timeout: float | None = None,
+    spec: GpuSpec = GTX285,
 ) -> AppRun:
     """Full workflow on one tile size.
 
@@ -208,6 +210,7 @@ def run_matmul(
         model=model,
         gpu=gpu,
         measure=measure,
+        spec=spec,
         workers=workers,
         trace_cache=trace_cache,
         task_timeout=task_timeout,

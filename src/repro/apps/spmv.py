@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, execute
+from repro.arch.specs import GTX285, GpuSpec
 from repro.apps.matrices import BlockSparseMatrix
 from repro.errors import LaunchError
 from repro.hw.gpu import HardwareGpu
@@ -246,6 +247,7 @@ def run_spmv(
     workers: int = 0,
     trace_cache: str | None = None,
     task_timeout: float | None = None,
+    spec: GpuSpec = GTX285,
 ) -> AppRun:
     """Full workflow on one storage format.
 
@@ -277,6 +279,7 @@ def run_spmv(
         gpu=gpu,
         measure=measure,
         use_cache=use_cache,
+        spec=spec,
         workers=workers,
         trace_cache=trace_cache,
         task_timeout=task_timeout,

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, execute
+from repro.arch.specs import GTX285, GpuSpec
 from repro.errors import LaunchError
 from repro.hw.gpu import HardwareGpu
 from repro.isa.builder import KernelBuilder
@@ -340,6 +341,7 @@ def run_cr(
     workers: int = 0,
     trace_cache: str | None = None,
     task_timeout: float | None = None,
+    spec: GpuSpec = GTX285,
 ) -> AppRun:
     """The paper's experiment: 512 512-equation systems, CR or CR-NBC."""
     problem = prepare_problem(n, num_systems, seed)
@@ -354,6 +356,7 @@ def run_cr(
         model=model,
         gpu=gpu,
         measure=measure,
+        spec=spec,
         workers=workers,
         trace_cache=trace_cache,
         task_timeout=task_timeout,

@@ -1,10 +1,20 @@
-"""GPU architecture descriptions and the occupancy calculator."""
+"""GPU architecture descriptions, the spec registry, and occupancy."""
 
 from repro.arch.occupancy import (
     KernelResources,
     Occupancy,
     compute_occupancy,
     warps_per_sm,
+)
+from repro.arch.registry import (
+    BASELINE,
+    RegisteredSpec,
+    default_source_for,
+    entries,
+    get_entry,
+    get_spec,
+    registered_name,
+    spec_names,
 )
 from repro.arch.specs import (
     GTX285,
@@ -16,14 +26,22 @@ from repro.arch.specs import (
 )
 
 __all__ = [
+    "BASELINE",
     "GTX285",
     "HALF_WARP",
     "WARP_SIZE",
     "GpuSpec",
     "MemorySpec",
+    "RegisteredSpec",
     "SmSpec",
     "KernelResources",
     "Occupancy",
     "compute_occupancy",
+    "default_source_for",
+    "entries",
+    "get_entry",
+    "get_spec",
+    "registered_name",
+    "spec_names",
     "warps_per_sm",
 ]

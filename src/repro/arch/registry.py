@@ -1,0 +1,416 @@
+"""Registry of named GPU architecture generations.
+
+The paper models one machine (the GTX 285); everything downstream of
+:mod:`repro.arch.specs` is parameterized on a :class:`GpuSpec`, so the
+only thing standing between the reproduction and cross-GPU prediction
+is a catalogue of machines to point it at.  This module is that
+catalogue: a registry of *named*, frozen, validated specs -- the
+paper's GT200 baseline plus synthetic generation profiles that vary
+every axis the model is sensitive to (warps/blocks per SM, shared
+memory banks and capacity, register file, core and memory clocks, bus
+width, and the min/max memory-transaction segment sizes).
+
+Every entry is constructed through the ordinary :class:`GpuSpec`
+validation path (``__post_init__`` invariants, cluster divisibility,
+functional-unit completeness) and carries a provenance note.  The
+non-baseline profiles are deliberately "-like": they are illustrative
+generation profiles for the cross-GPU validation harness
+(:mod:`repro.model.crossval`), not calibrated models of real boards --
+the registered numbers are chosen to span the architecture space, and
+the provenance note on each entry says exactly that.
+
+``python -m repro specs list|show`` renders the registry; the
+``--markdown`` form generates ``docs/ARCHITECTURES.md`` (CI regenerates
+it and fails on drift, so the reference can never diverge from this
+file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.arch.specs import GTX285, GpuSpec, MemorySpec, SmSpec
+from repro.errors import SpecError
+from repro.sim.trace import TYPE_NAMES
+from repro.util import spec_fingerprint
+
+#: Name of the paper's machine -- the default spec everywhere.
+BASELINE = "gt200"
+
+
+@dataclass(frozen=True)
+class RegisteredSpec:
+    """A named architecture generation: spec plus provenance."""
+
+    name: str
+    spec: GpuSpec
+    provenance: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the spec (the cache-invalidation key)."""
+        return spec_fingerprint(self.spec)
+
+
+_REGISTRY: dict[str, RegisteredSpec] = {}
+
+
+def register(name: str, spec: GpuSpec, provenance: str) -> RegisteredSpec:
+    """Register a named spec (validated by GpuSpec construction).
+
+    The spec argument has already been through ``GpuSpec.__post_init__``
+    by the time it arrives here, so every registered entry satisfies
+    the same invariants the model relies on; this function only guards
+    the registry itself (unique, well-formed names).
+    """
+    if not name or name != name.strip().lower():
+        raise SpecError(f"registry names are lowercase slugs, got {name!r}")
+    if name in _REGISTRY:
+        raise SpecError(f"spec {name!r} is already registered")
+    entry = RegisteredSpec(name=name, spec=spec, provenance=provenance)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_entry(name: str) -> RegisteredSpec:
+    """Look up a registered spec by name (raises SpecError if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(spec_names())
+        raise SpecError(
+            f"unknown architecture spec {name!r}; registered specs: {known}"
+        ) from None
+
+
+def get_spec(name: str) -> GpuSpec:
+    """The named architecture's :class:`GpuSpec`."""
+    return get_entry(name).spec
+
+
+def spec_names() -> tuple[str, ...]:
+    """Registered names, in registration order (baseline first)."""
+    return tuple(_REGISTRY)
+
+
+def entries() -> tuple[RegisteredSpec, ...]:
+    """All registered entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def registered_name(spec: GpuSpec) -> str | None:
+    """The registry name of a spec, matched by fingerprint (or None)."""
+    fingerprint = spec_fingerprint(spec)
+    for entry in _REGISTRY.values():
+        if entry.fingerprint == fingerprint:
+            return entry.name
+    return None
+
+
+def default_source_for(target: str) -> str:
+    """Held-one-out calibration source for a target spec.
+
+    Cross-validation predicts each spec with a model calibrated on a
+    *different* machine: every non-baseline target is predicted from
+    the baseline, and the baseline itself is predicted from the first
+    non-baseline entry, so no spec is ever predicted from its own
+    calibration.
+    """
+    get_entry(target)  # raise early on unknown names
+    if target != BASELINE:
+        return BASELINE
+    for name in spec_names():
+        if name != BASELINE:
+            return name
+    raise SpecError("registry holds no spec other than the baseline")
+
+
+# ----------------------------------------------------------------------
+# The registered generations
+# ----------------------------------------------------------------------
+
+register(
+    BASELINE,
+    GTX285,
+    "Paper baseline: NVIDIA GeForce GTX 285 (GT200), the machine of "
+    "Zhang & Owens, HPCA 2011 (Table 1 / Section 4).",
+)
+
+register(
+    "fermi-like",
+    GpuSpec(
+        name="Fermi-like generation profile",
+        num_sms=16,
+        core_clock_ghz=1.15,
+        sm=SmSpec(
+            num_sps=32,
+            registers=32768,
+            shared_memory_bytes=49152,
+            shared_memory_banks=32,
+            bank_width_bytes=4,
+            max_threads_per_block=1024,
+            max_blocks=8,
+            max_warps=48,
+        ),
+        memory=MemorySpec(
+            clock_ghz=1.9,
+            bus_width_bits=384,
+            num_clusters=8,
+            min_segment_bytes=128,
+            max_segment_bytes=128,
+            dram_efficiency=0.85,
+        ),
+        functional_units={"I": 36, "II": 32, "III": 4, "IV": 16},
+    ),
+    "Illustrative Fermi-generation profile (GF100-era shape): 32-bank "
+    "shared memory, 48 resident warps, cache-line-only (128 B) global "
+    "transactions.  Synthetic -- spans the architecture axes for "
+    "cross-GPU validation, not a calibrated model of a real board.",
+)
+
+register(
+    "kepler-like",
+    GpuSpec(
+        name="Kepler-like generation profile",
+        num_sms=15,
+        core_clock_ghz=0.88,
+        sm=SmSpec(
+            num_sps=64,
+            registers=65536,
+            shared_memory_bytes=49152,
+            shared_memory_banks=32,
+            bank_width_bytes=4,
+            max_threads_per_block=1024,
+            max_blocks=16,
+            max_warps=64,
+        ),
+        memory=MemorySpec(
+            clock_ghz=3.0,
+            bus_width_bits=384,
+            num_clusters=5,
+            min_segment_bytes=32,
+            max_segment_bytes=128,
+            dram_efficiency=0.85,
+        ),
+        functional_units={"I": 72, "II": 64, "III": 16, "IV": 8},
+    ),
+    "Illustrative Kepler-generation profile (GK110-era shape): wide "
+    "SMs at a lower clock, 64 resident warps, 16 resident blocks, "
+    "32-128 B transaction segments.  Synthetic generation profile for "
+    "cross-GPU validation.",
+)
+
+register(
+    "modern-wide",
+    GpuSpec(
+        name="Modern wide-warp-count profile",
+        num_sms=60,
+        core_clock_ghz=1.7,
+        sm=SmSpec(
+            num_sps=64,
+            registers=65536,
+            shared_memory_bytes=98304,
+            shared_memory_banks=32,
+            bank_width_bytes=4,
+            max_threads_per_block=1024,
+            max_blocks=32,
+            max_warps=64,
+        ),
+        memory=MemorySpec(
+            clock_ghz=7.0,
+            bus_width_bits=256,
+            num_clusters=12,
+            min_segment_bytes=32,
+            max_segment_bytes=128,
+            dram_efficiency=0.90,
+        ),
+        functional_units={"I": 68, "II": 64, "III": 16, "IV": 32},
+    ),
+    "Illustrative modern profile: many narrow-ish SMs, 64 resident "
+    "warps and 32 resident blocks per SM, sectored (32 B) transactions "
+    "on a fast, narrow bus.  Synthetic generation profile for "
+    "cross-GPU validation.",
+)
+
+
+# ----------------------------------------------------------------------
+# Rendering (``repro specs list``, docs/ARCHITECTURES.md)
+# ----------------------------------------------------------------------
+
+def describe(entry: RegisteredSpec) -> dict:
+    """JSON-ready description: every spec field plus derived peaks."""
+    spec = entry.spec
+    return {
+        "name": entry.name,
+        "device": spec.name,
+        "provenance": entry.provenance,
+        "fingerprint": entry.fingerprint,
+        "num_sms": spec.num_sms,
+        "core_clock_ghz": spec.core_clock_ghz,
+        "functional_units": dict(sorted(spec.functional_units.items())),
+        "sm": asdict(spec.sm),
+        "memory": asdict(spec.memory),
+        "derived": {
+            "sms_per_cluster": spec.sms_per_cluster,
+            "max_threads_per_sm": spec.sm.max_threads,
+            "peak_instruction_gis": {
+                name: spec.peak_instruction_throughput(name) / 1e9
+                for name in TYPE_NAMES
+            },
+            "peak_gflops": spec.peak_gflops,
+            "peak_shared_bandwidth_gbs": spec.peak_shared_bandwidth / 1e9,
+            "peak_global_bandwidth_gbs": spec.peak_global_bandwidth / 1e9,
+        },
+    }
+
+
+def render_json() -> str:
+    """The whole registry as deterministic JSON."""
+    import json
+
+    payload = {
+        "baseline": BASELINE,
+        "specs": {entry.name: describe(entry) for entry in entries()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SmSpec field -> row label for the per-spec tables.
+_SM_LABELS = {
+    "num_sps": "SPs per SM",
+    "registers": "registers per SM",
+    "shared_memory_bytes": "shared memory per SM (B)",
+    "shared_memory_banks": "shared-memory banks",
+    "bank_width_bytes": "bank width (B)",
+    "max_threads_per_block": "max threads per block",
+    "max_blocks": "max resident blocks",
+    "max_warps": "max resident warps",
+}
+
+#: MemorySpec field -> row label.
+_MEMORY_LABELS = {
+    "clock_ghz": "memory clock (GHz)",
+    "bus_width_bits": "bus width (bits)",
+    "num_clusters": "memory clusters",
+    "min_segment_bytes": "min transaction segment (B)",
+    "max_segment_bytes": "max transaction segment (B)",
+    "dram_efficiency": "DRAM efficiency",
+}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_markdown() -> str:
+    """Generate the full ``docs/ARCHITECTURES.md`` reference.
+
+    Deterministic: registration order for specs, declaration order for
+    fields.  CI regenerates the file with
+    ``python -m repro specs list --markdown docs/ARCHITECTURES.md``
+    and fails on any diff, so the reference cannot drift from the
+    registry.
+    """
+    lines = [
+        "# Architecture reference",
+        "",
+        "Generated by `python -m repro specs list --markdown "
+        "docs/ARCHITECTURES.md` from `repro.arch.registry`.",
+        "**Do not edit by hand** -- CI regenerates this file and fails "
+        "on drift.",
+        "",
+        "Every registered spec is a frozen, validated `GpuSpec`; the "
+        "derived peaks below come from the paper's Section 4 formulas "
+        "(peak warp-instruction throughput `u * f_core * SMs / 32`, "
+        "peak shared bandwidth `SPs * SMs * f_core * bank_width`, peak "
+        "global bandwidth `f_mem * bus_width / 8`).  Cross-GPU "
+        "validation over these specs: `python -m repro specs crossval`.",
+        "",
+        "## Registered specs",
+        "",
+        "| name | device | SMs | core clock | warps/SM | blocks/SM | "
+        "banks | shared/SM | registers/SM | global peak |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for entry in entries():
+        spec = entry.spec
+        lines.append(
+            f"| `{entry.name}` | {spec.name} | {spec.num_sms} "
+            f"| {_fmt(spec.core_clock_ghz)} GHz | {spec.sm.max_warps} "
+            f"| {spec.sm.max_blocks} | {spec.sm.shared_memory_banks} "
+            f"| {spec.sm.shared_memory_bytes} B | {spec.sm.registers} "
+            f"| {spec.peak_global_bandwidth / 1e9:.1f} GB/s |"
+        )
+    for entry in entries():
+        spec = entry.spec
+        description = describe(entry)
+        lines += [
+            "",
+            f"## `{entry.name}` -- {spec.name}",
+            "",
+            f"> {entry.provenance}",
+            "",
+            f"Spec fingerprint: `{entry.fingerprint[:16]}`",
+            "",
+            "### Chip",
+            "",
+            "| field | value |",
+            "| --- | --- |",
+            f"| SMs | {spec.num_sms} |",
+            f"| core clock (GHz) | {_fmt(spec.core_clock_ghz)} |",
+            f"| SMs per memory cluster | {spec.sms_per_cluster} |",
+        ]
+        lines += [
+            "",
+            "### SM (`SmSpec`)",
+            "",
+            "| field | value |",
+            "| --- | --- |",
+        ]
+        for field_name, label in _SM_LABELS.items():
+            lines.append(
+                f"| {label} (`{field_name}`) "
+                f"| {_fmt(description['sm'][field_name])} |"
+            )
+        lines += [
+            "",
+            "### Memory system (`MemorySpec`)",
+            "",
+            "| field | value |",
+            "| --- | --- |",
+        ]
+        for field_name, label in _MEMORY_LABELS.items():
+            lines.append(
+                f"| {label} (`{field_name}`) "
+                f"| {_fmt(description['memory'][field_name])} |"
+            )
+        lines += [
+            "",
+            "### Functional units per SM",
+            "",
+            "| type | units | peak (GI/s) |",
+            "| --- | --- | --- |",
+        ]
+        for type_name in TYPE_NAMES:
+            lines.append(
+                f"| {type_name} | {spec.units_for_type(type_name)} "
+                f"| {spec.peak_instruction_throughput(type_name) / 1e9:.2f} |"
+            )
+        derived = description["derived"]
+        lines += [
+            "",
+            "### Derived peaks (Section 4 formulas)",
+            "",
+            "| quantity | value |",
+            "| --- | --- |",
+            f"| peak single precision | {derived['peak_gflops']:.1f} GFLOPS |",
+            "| peak shared bandwidth "
+            f"| {derived['peak_shared_bandwidth_gbs']:.1f} GB/s |",
+            "| peak global bandwidth "
+            f"| {derived['peak_global_bandwidth_gbs']:.1f} GB/s |",
+            f"| max threads per SM | {derived['max_threads_per_sm']} |",
+        ]
+    lines.append("")
+    return "\n".join(lines)

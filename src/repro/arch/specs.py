@@ -1,10 +1,14 @@
 """GPU architecture specifications.
 
-The paper targets the NVIDIA GeForce GTX 285 (GT200).  Everything the
-model needs to know about the chip lives in :class:`GpuSpec`:
-clock rates, per-SM resource ceilings, the shared-memory bank layout,
-and the global-memory cluster organization.  Derived quantities use the
-paper's own formulas (Section 4):
+A :class:`GpuSpec` holds everything the model needs to know about a
+chip: clock rates, per-SM resource ceilings, the shared-memory bank
+layout, and the global-memory cluster organization.  The paper's own
+machine is the NVIDIA GeForce GTX 285 (GT200), registered here as
+:data:`GTX285` and used as the default spec throughout; other
+generations live in :mod:`repro.arch.registry`, each built through
+this module's validation path.  Derived quantities use the paper's
+own formulas (Section 4), evaluated against whichever spec they are
+asked about -- the worked numbers below are the GTX 285's:
 
 * peak instruction throughput of an instruction with ``u`` functional
   units per SM: ``u * core_clock * num_sms / warp_size`` warp-instructions

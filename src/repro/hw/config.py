@@ -12,6 +12,15 @@ cycles of latency saturates near 6 warps (paper: "the number of
 instruction pipeline stages is around 6"); the shared-memory pipeline is
 longer, needing more warps (Fig. 2 right); the global-memory path has a
 ~500-cycle latency and a per-cluster bandwidth slice.
+
+One :class:`HwConfig` is shared by every registered architecture
+generation (:mod:`repro.arch.registry`): specs vary the *structural*
+axes (units, banks, clocks, segment sizes, occupancy ceilings) while
+the pipeline-depth constants stay fixed.  That is the modelling
+assumption behind cross-GPU validation
+(:mod:`repro.model.crossval`) -- throughput curves keep their shape
+across generations and only their ceilings move -- and it is also why
+transferring calibration by peak ratios works as well as it does.
 """
 
 from __future__ import annotations

@@ -3,10 +3,14 @@
 Calibration (the Fig. 2 microbenchmark sweeps) dominates CLI start-up:
 tens of seconds to answer questions the analytical model then settles in
 microseconds.  The tables only depend on the architecture spec and the
-sweep configuration, so they are cached under a default path
-(``~/.cache/repro/calibration.json``, override the root with the
-``REPRO_CACHE_DIR`` environment variable) and invalidated whenever the
-spec or sweep parameters change.
+sweep configuration, so they are cached per spec: the baseline GT200
+keeps its historical ``~/.cache/repro/calibration.json`` path, every
+other spec -- registered generations (:mod:`repro.arch.registry`) and
+ad-hoc what-if specs alike -- gets its own
+``calibration-<name-or-fingerprint>.json`` file, so sweeping the
+registry (``repro specs crossval``) never thrashes one shared file.
+Override the cache root with ``REPRO_CACHE_DIR``; entries are
+invalidated whenever the spec fingerprint or sweep parameters change.
 """
 
 from __future__ import annotations
@@ -15,13 +19,15 @@ import json
 import os
 from pathlib import Path
 
+from repro.arch.registry import registered_name
+from repro.arch.specs import GTX285, GpuSpec
 from repro.hw.gpu import HardwareGpu
 from repro.micro.calibration import (
     CALIBRATION_CACHE_VERSION,
     CalibrationTables,
     calibrate,
 )
-from repro.micro.instruction import DEFAULT_WARP_COUNTS
+from repro.micro.instruction import warp_counts_for
 from repro.util import (
     CACHE_DIR_ENV,
     atomic_write_bytes,
@@ -50,8 +56,19 @@ def default_cache_dir() -> Path:
     return Path(_default_cache_root())
 
 
-def default_calibration_path() -> Path:
-    return default_cache_dir() / "calibration.json"
+def default_calibration_path(spec: GpuSpec | None = None) -> Path:
+    """Per-spec calibration cache file.
+
+    The baseline (``None`` or the GT200 spec) keeps the historical
+    ``calibration.json`` name; other specs are keyed by their registry
+    name when registered (``calibration-fermi-like.json``) or by a
+    fingerprint prefix otherwise, so distinct architectures never
+    overwrite each other's tables.
+    """
+    if spec is None or spec_fingerprint(spec) == spec_fingerprint(GTX285):
+        return default_cache_dir() / "calibration.json"
+    stem = registered_name(spec) or spec_fingerprint(spec)[:12]
+    return default_cache_dir() / f"calibration-{stem}.json"
 
 
 def default_trace_cache_dir() -> Path:
@@ -71,18 +88,26 @@ def _sweep_key(warp_counts: tuple[int, ...], iterations: int) -> list:
 def load_or_calibrate(
     gpu: HardwareGpu | None = None,
     path: str | os.PathLike | None = None,
-    warp_counts: tuple[int, ...] = DEFAULT_WARP_COUNTS,
+    warp_counts: tuple[int, ...] | None = None,
     iterations: int = 60,
     force: bool = False,
     on_calibrate=None,
 ) -> CalibrationTables:
     """Return cached calibration tables, re-running microbenchmarks only
     when the cache is missing, malformed, or keyed to a different spec or
-    sweep configuration.  ``on_calibrate`` is invoked (with no args)
-    right before an actual calibration run -- missing *or* invalidated
-    cache -- so callers can surface slow-path progress."""
+    sweep configuration.  The default ``path`` is the per-spec cache
+    file (:func:`default_calibration_path`), and ``warp_counts=None``
+    resolves to the spec's sweep grid, so every registered architecture
+    calibrates and caches independently.  ``on_calibrate`` is invoked
+    (with no args) right before an actual calibration run -- missing
+    *or* invalidated cache -- so callers can surface slow-path
+    progress."""
     gpu = gpu or HardwareGpu()
-    target = Path(path) if path is not None else default_calibration_path()
+    if warp_counts is None:
+        warp_counts = warp_counts_for(gpu.spec)
+    target = (
+        Path(path) if path is not None else default_calibration_path(gpu.spec)
+    )
     fingerprint = spec_fingerprint(gpu.spec)
     sweep = _sweep_key(warp_counts, iterations)
 

@@ -15,9 +15,9 @@ from repro.errors import CalibrationError
 from repro.hw.gpu import HardwareGpu
 from repro.micro.globalmem import GlobalBenchmarkResult, run_synthetic
 from repro.micro.instruction import (
-    DEFAULT_WARP_COUNTS,
     InstructionThroughputTable,
     measure_instruction_throughput,
+    warp_counts_for,
 )
 from repro.micro.shared import SharedBandwidthTable, measure_shared_bandwidth
 from repro.util import spec_fingerprint
@@ -143,11 +143,19 @@ _DEFAULT_TABLES: dict[int, CalibrationTables] = {}
 
 def calibrate(
     gpu: HardwareGpu | None = None,
-    warp_counts: tuple[int, ...] = DEFAULT_WARP_COUNTS,
+    warp_counts: tuple[int, ...] | None = None,
     iterations: int = 60,
 ) -> CalibrationTables:
-    """Run the full microbenchmark suite against a hardware instance."""
+    """Run the full microbenchmark suite against a hardware instance.
+
+    ``warp_counts=None`` resolves to the spec's grid
+    (:func:`repro.micro.instruction.warp_counts_for`): the GT200
+    default sweep for the baseline, extended sample points for
+    registered wide-warp-count generations.
+    """
     gpu = gpu or HardwareGpu()
+    if warp_counts is None:
+        warp_counts = warp_counts_for(gpu.spec)
     instruction = measure_instruction_throughput(
         gpu, warp_counts=warp_counts, iterations=iterations
     )

@@ -18,6 +18,26 @@ from repro.sim.trace import TYPE_NAMES
 #: Default warp grid: dense at the knee, sparse near the ceiling.
 DEFAULT_WARP_COUNTS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 28, 32)
 
+#: Sparse extension points for wide-warp-count architectures.
+_EXTENDED_WARP_COUNTS = (40, 48, 56, 64)
+
+
+def warp_counts_for(spec: GpuSpec) -> tuple[int, ...]:
+    """Calibration warp grid for an architecture spec.
+
+    The GT200 grid tops out at its 32-warp ceiling; registry specs with
+    wider SMs (``max_warps`` of 48 or 64) get sparse extension points
+    so the model's throughput curves cover the extra parallelism
+    instead of clamping at the last GT200 sample.
+    """
+    counts = tuple(w for w in DEFAULT_WARP_COUNTS if w <= spec.sm.max_warps)
+    counts += tuple(
+        w
+        for w in _EXTENDED_WARP_COUNTS
+        if DEFAULT_WARP_COUNTS[-1] < w <= spec.sm.max_warps
+    )
+    return counts
+
 
 @dataclass(frozen=True)
 class InstructionThroughputTable:

@@ -8,6 +8,12 @@ from repro.model.components import (
     InstructionPipelineModel,
     SharedMemoryModel,
 )
+from repro.model.crossval import (
+    CrossPrediction,
+    CrossValReport,
+    cross_validate,
+    transfer_tables,
+)
 from repro.model.curves import ThroughputCurve, instruction_curves, shared_curve
 from repro.model.extractor import (
     ModelInputs,
@@ -38,6 +44,8 @@ __all__ = [
     "COMPONENTS",
     "ComponentModels",
     "ComponentTimes",
+    "CrossPrediction",
+    "CrossValReport",
     "Diagnostics",
     "GlobalMemoryModel",
     "InstructionPipelineModel",
@@ -49,6 +57,7 @@ __all__ = [
     "StageInputs",
     "ThroughputCurve",
     "WhatIfResult",
+    "cross_validate",
     "diagnose",
     "extract_inputs",
     "instruction_curves",
@@ -58,6 +67,7 @@ __all__ = [
     "predict_with_resources",
     "predict_without_bank_conflicts",
     "shared_curve",
+    "transfer_tables",
     "with_blocks_per_sm",
     "with_granularity",
     "without_bank_conflicts",

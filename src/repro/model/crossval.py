@@ -1,0 +1,497 @@
+"""Cross-GPU validation: held-out prediction over the spec registry.
+
+This generalizes the single-machine what-if machinery
+(:mod:`repro.model.whatif`) from "this GPU with one knob turned" to
+"a different GPU entirely": predict every kernel-zoo workload on a
+registered architecture (:mod:`repro.arch.registry`) using a model
+that was *calibrated on a different one*, then score the prediction
+against the timing simulator's ground truth on the held-out spec.
+
+Two predictors are compared per (kernel, target) pair:
+
+* **analytical** -- the paper's model, re-parameterized: dynamic
+  program statistics are re-traced on the target spec (its bank count,
+  transaction segments and occupancy ceilings), and the source spec's
+  calibration tables are *transferred* by scaling each throughput
+  curve with the ratio of spec-sheet peaks
+  (:func:`transfer_tables`); and
+* **scaling** -- the trivial peak-ratio extrapolation practitioners
+  reach for first: the kernel's measured time on the source machine
+  scaled by the compute-peak ratio (``t_target = t_source *
+  peak_gflops_source / peak_gflops_target``), blind to what actually
+  bottlenecks the kernel.
+
+Errors are relative to the held-out measurement
+(``|predicted - measured| / measured``, the paper's own metric); the
+report aggregates the mean absolute relative error per spec, per
+kernel, and overall.  Everything is deterministic -- the simulators
+use hash-based jitter -- so the JSON artifact (``BENCH_crossval.json``
+in CI) is byte-stable for a given registry and kernel zoo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro.arch.registry import (
+    BASELINE,
+    default_source_for,
+    get_entry,
+    spec_names,
+)
+from repro.arch.specs import GpuSpec
+from repro.errors import ModelError, SpecError
+from repro.hw.gpu import HardwareGpu
+from repro.micro.cache import load_or_calibrate
+from repro.micro.calibration import CalibrationTables, calibrate
+from repro.micro.globalmem import GlobalBenchmarkResult
+from repro.micro.instruction import InstructionThroughputTable
+from repro.micro.shared import SharedBandwidthTable
+from repro.model.performance import PerformanceModel
+from repro.sim.trace import TYPE_NAMES
+
+#: Schema tag of the JSON artifact (BENCH_crossval.json).
+CROSSVAL_SCHEMA = "crossval/1"
+
+
+def _effective_global_bandwidth(spec: GpuSpec) -> float:
+    """Sustainable global bandwidth: theoretical peak derated by DRAM."""
+    return spec.memory.peak_bandwidth * spec.memory.dram_efficiency
+
+
+class TransferredTables(CalibrationTables):
+    """Calibration measured on one spec, rescaled to another.
+
+    The transfer assumes each throughput curve keeps its *shape* in
+    warp-parallelism (the saturation knee is set by pipeline depth,
+    which the stand-in silicon shares across generations) while its
+    *ceiling* moves with the spec-sheet peak:
+
+    * instruction curves scale per type by the ratio of
+      ``peak_instruction_throughput`` (units x clock x SMs);
+    * the shared-bandwidth curve scales by the ratio of
+      ``peak_shared_bandwidth``;
+    * synthetic global benchmarks run on the source hardware and their
+      times are scaled by the ratio of efficiency-derated global
+      bandwidth.
+
+    Warp counts beyond the source sweep clamp at the scaled saturated
+    value (the curves are already flat there).
+    """
+
+    def __init__(
+        self, base: CalibrationTables, source: GpuSpec, target: GpuSpec
+    ) -> None:
+        ratios = {
+            name: (
+                target.peak_instruction_throughput(name)
+                / source.peak_instruction_throughput(name)
+            )
+            for name in TYPE_NAMES
+        }
+        instruction = InstructionThroughputTable(
+            base.instruction.warp_counts,
+            {
+                name: tuple(
+                    value * ratios[name]
+                    for value in base.instruction.throughput[name]
+                )
+                for name in TYPE_NAMES
+            },
+        )
+        shared_ratio = (
+            target.peak_shared_bandwidth / source.peak_shared_bandwidth
+        )
+        shared = SharedBandwidthTable(
+            base.shared.warp_counts,
+            tuple(value * shared_ratio for value in base.shared.bandwidth),
+        )
+        super().__init__(instruction=instruction, shared=shared, gpu=base.gpu)
+        self._base = base
+        self._global_ratio = _effective_global_bandwidth(
+            target
+        ) / _effective_global_bandwidth(source)
+
+    def global_benchmark(
+        self, num_blocks: int, threads_per_block: int, loads_per_thread: int
+    ) -> GlobalBenchmarkResult:
+        """Source-hardware synthetic run with bandwidth-scaled time."""
+        result = self._base.global_benchmark(
+            num_blocks, threads_per_block, loads_per_thread
+        )
+        return dataclasses.replace(
+            result, seconds=result.seconds / self._global_ratio
+        )
+
+
+def transfer_tables(
+    tables: CalibrationTables,
+    target: GpuSpec,
+    source: GpuSpec | None = None,
+) -> TransferredTables:
+    """Rescale calibration tables from ``source`` to ``target``.
+
+    ``source=None`` reads the source spec off the tables' hardware
+    handle.  Transferring a spec onto itself is the identity (all
+    ratios are 1), which the tests pin down.
+    """
+    if source is None:
+        if tables.gpu is None:
+            raise ModelError(
+                "calibration tables carry no hardware handle; pass the "
+                "source spec explicitly"
+            )
+        source = tables.gpu.spec
+    return TransferredTables(tables, source, target)
+
+
+# ----------------------------------------------------------------------
+# Predictions and the report
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrossPrediction:
+    """One kernel predicted on one held-out spec."""
+
+    kernel: str
+    target: str  # spec predicted on (never calibrated against)
+    source: str  # spec the model was calibrated on
+    measured_seconds: float  # timing-simulator ground truth on target
+    analytical_seconds: float  # transferred analytical model
+    scaling_seconds: float  # peak-ratio extrapolation baseline
+    bottleneck: str  # analytical model's verdict on the target
+
+    def _relative(self, predicted: float) -> float:
+        if self.measured_seconds <= 0:
+            raise ModelError(
+                f"non-positive measurement for {self.kernel} on {self.target}"
+            )
+        return abs(predicted - self.measured_seconds) / self.measured_seconds
+
+    @property
+    def analytical_error(self) -> float:
+        """|analytical - measured| / measured (the paper's metric)."""
+        return self._relative(self.analytical_seconds)
+
+    @property
+    def scaling_error(self) -> float:
+        """|scaling - measured| / measured."""
+        return self._relative(self.scaling_seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "target": self.target,
+            "source": self.source,
+            "measured_seconds": self.measured_seconds,
+            "analytical_seconds": self.analytical_seconds,
+            "scaling_seconds": self.scaling_seconds,
+            "analytical_error": self.analytical_error,
+            "scaling_error": self.scaling_error,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class CrossValReport:
+    """All held-out predictions plus aggregate error summaries."""
+
+    baseline: str
+    predictions: tuple[CrossPrediction, ...]
+
+    @property
+    def targets(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(p.target for p in self.predictions))
+
+    @property
+    def kernels(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(p.kernel for p in self.predictions))
+
+    def _group_errors(self, key) -> dict[str, dict[str, float]]:
+        groups: dict[str, list[CrossPrediction]] = {}
+        for prediction in self.predictions:
+            groups.setdefault(key(prediction), []).append(prediction)
+        return {
+            name: {
+                "analytical": _mean([p.analytical_error for p in members]),
+                "scaling": _mean([p.scaling_error for p in members]),
+            }
+            for name, members in sorted(groups.items())
+        }
+
+    def errors_by_spec(self) -> dict[str, dict[str, float]]:
+        """Mean absolute relative error per target spec."""
+        return self._group_errors(lambda p: p.target)
+
+    def errors_by_kernel(self) -> dict[str, dict[str, float]]:
+        """Mean absolute relative error per kernel."""
+        return self._group_errors(lambda p: p.kernel)
+
+    def summary(self) -> dict:
+        """Overall means plus the analytical-vs-scaling win count."""
+        wins = sum(
+            1
+            for p in self.predictions
+            if p.analytical_error < p.scaling_error
+        )
+        return {
+            "predictions": len(self.predictions),
+            "analytical_mean_abs_rel_error": _mean(
+                [p.analytical_error for p in self.predictions]
+            ),
+            "scaling_mean_abs_rel_error": _mean(
+                [p.scaling_error for p in self.predictions]
+            ),
+            "analytical_wins": wins,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (``BENCH_crossval.json`` schema)."""
+        ordered = sorted(
+            self.predictions, key=lambda p: (p.target, p.kernel)
+        )
+        return {
+            "schema": CROSSVAL_SCHEMA,
+            "baseline": self.baseline,
+            "kernels": sorted(self.kernels),
+            "targets": {
+                p.target: {"source": p.source} for p in ordered
+            },
+            "predictions": [p.to_dict() for p in ordered],
+            "summary": {
+                "overall": self.summary(),
+                "by_spec": self.errors_by_spec(),
+                "by_kernel": self.errors_by_kernel(),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable text report."""
+        lines = [
+            f"cross-GPU validation: {len(self.kernels)} kernels x "
+            f"{len(self.targets)} held-out specs "
+            f"(registry baseline: {self.baseline})",
+            "",
+            f"{'target':<14}{'source':<14}{'kernel':<18}"
+            f"{'measured':>12}{'analytical':>12}{'err':>8}"
+            f"{'scaling':>12}{'err':>8}",
+        ]
+        for p in sorted(self.predictions, key=lambda p: (p.target, p.kernel)):
+            lines.append(
+                f"{p.target:<14}{p.source:<14}{p.kernel:<18}"
+                f"{p.measured_seconds * 1e3:>10.4f}ms"
+                f"{p.analytical_seconds * 1e3:>10.4f}ms"
+                f"{p.analytical_error:>7.0%} "
+                f"{p.scaling_seconds * 1e3:>10.4f}ms"
+                f"{p.scaling_error:>7.0%} "
+            )
+        lines.append("")
+        lines.append("mean |rel error| per held-out spec (analytical | scaling):")
+        for name, errors in self.errors_by_spec().items():
+            lines.append(
+                f"  {name:<14}{errors['analytical']:>7.1%} | "
+                f"{errors['scaling']:>7.1%}"
+            )
+        overall = self.summary()
+        lines.append(
+            f"overall: analytical "
+            f"{overall['analytical_mean_abs_rel_error']:.1%}, scaling "
+            f"{overall['scaling_mean_abs_rel_error']:.1%} "
+            f"(analytical wins {overall['analytical_wins']}"
+            f"/{overall['predictions']})"
+        )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown report (CI artifacts, docs)."""
+        lines = [
+            "# Cross-GPU validation",
+            "",
+            f"{len(self.kernels)} kernels x {len(self.targets)} held-out "
+            f"specs; registry baseline `{self.baseline}`.  Errors are "
+            "relative to the timing simulator's measurement on the "
+            "held-out spec.",
+            "",
+            "| target | source | kernel | measured (ms) | analytical (ms) "
+            "| err | scaling (ms) | err |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for p in sorted(self.predictions, key=lambda p: (p.target, p.kernel)):
+            lines.append(
+                f"| `{p.target}` | `{p.source}` | {p.kernel} "
+                f"| {p.measured_seconds * 1e3:.4f} "
+                f"| {p.analytical_seconds * 1e3:.4f} "
+                f"| {p.analytical_error:.0%} "
+                f"| {p.scaling_seconds * 1e3:.4f} "
+                f"| {p.scaling_error:.0%} |"
+            )
+        lines += [
+            "",
+            "| held-out spec | analytical mean err | scaling mean err |",
+            "| --- | --- | --- |",
+        ]
+        for name, errors in self.errors_by_spec().items():
+            lines.append(
+                f"| `{name}` | {errors['analytical']:.1%} "
+                f"| {errors['scaling']:.1%} |"
+            )
+        overall = self.summary()
+        lines += [
+            "",
+            f"Overall: analytical "
+            f"{overall['analytical_mean_abs_rel_error']:.1%} vs scaling "
+            f"{overall['scaling_mean_abs_rel_error']:.1%}; analytical "
+            f"wins {overall['analytical_wins']}/{overall['predictions']}.",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+
+
+def cross_validate(
+    targets: tuple[str, ...] | list[str] | None = None,
+    kernels: tuple[str, ...] | list[str] | None = None,
+    *,
+    source: str | None = None,
+    warp_counts: tuple[int, ...] | None = None,
+    iterations: int = 60,
+    use_calibration_cache: bool = True,
+    workers: int = 0,
+    trace_cache: str | None = None,
+    progress=None,
+) -> CrossValReport:
+    """Held-one-out cross-GPU validation over the registry.
+
+    For every target spec (default: all registered), pick a *source*
+    spec it was not calibrated against (``source=None`` uses
+    :func:`repro.arch.registry.default_source_for`: the baseline for
+    everything, and the first non-baseline spec for the baseline
+    itself), calibrate on the source (per-spec cache unless
+    ``use_calibration_cache=False``), then predict every kernel-zoo
+    workload (default: all of ``repro analyze``'s built-in cases) on
+    the target and score against the target's own measurement.
+
+    ``warp_counts``/``iterations`` tune calibration cost (tests use
+    tiny sweeps); ``workers``/``trace_cache`` are passed to the
+    simulation engine.  ``progress`` is an optional callable invoked
+    with one-line status strings.
+    """
+    # Lazy: the kernel zoo lives above the model layer (analysis ->
+    # apps -> model), so importing it at module scope would be a cycle.
+    from repro.analysis.report import BUILTIN_KERNELS, analysis_case
+    from repro.apps.common import execute
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    target_names = tuple(targets) if targets else spec_names()
+    if len(target_names) != len(set(target_names)):
+        raise SpecError("duplicate target specs in crossval request")
+    kernel_names = (
+        tuple(kernels) if kernels else tuple(sorted(BUILTIN_KERNELS))
+    )
+    for name in kernel_names:
+        if name not in BUILTIN_KERNELS:
+            known = ", ".join(sorted(BUILTIN_KERNELS))
+            raise ModelError(
+                f"unknown kernel {name!r}; built-in kernels: {known}"
+            )
+
+    sources: dict[str, str] = {}
+    for target in target_names:
+        get_entry(target)  # raises on unknown names
+        chosen = source if source is not None else default_source_for(target)
+        if chosen == target:
+            raise SpecError(
+                f"crossval is held-out: source {chosen!r} cannot predict "
+                "itself; drop it from --specs or choose another --source"
+            )
+        sources[target] = chosen
+
+    specs = {
+        name: get_entry(name).spec
+        for name in {*target_names, *sources.values()}
+    }
+
+    tables: dict[str, CalibrationTables] = {}
+    for name in sorted(set(sources.values())):
+        note(f"calibrating model on source spec {name!r} ...")
+        gpu = HardwareGpu(spec=specs[name])
+        if use_calibration_cache:
+            tables[name] = load_or_calibrate(
+                gpu, warp_counts=warp_counts, iterations=iterations
+            )
+        else:
+            tables[name] = calibrate(
+                gpu, warp_counts=warp_counts, iterations=iterations
+            )
+
+    runs: dict[tuple[str, str], object] = {}
+
+    def run_on(kernel_name: str, spec_name: str):
+        """Trace + measure a zoo kernel on one spec (memoized)."""
+        key = (kernel_name, spec_name)
+        if key not in runs:
+            note(f"running {kernel_name} on {spec_name} ...")
+            # A fresh case per run: kernels store into their problem
+            # arrays, so sharing one memory image across specs would
+            # leak one run's outputs into the next run's inputs.
+            case = analysis_case(kernel_name)
+            runs[key] = execute(
+                name=kernel_name,
+                kernel=case.kernel,
+                gmem=case.gmem,
+                launch=case.launch,
+                spec=specs[spec_name],
+                model=None,
+                measure=True,
+                workers=workers,
+                trace_cache=trace_cache,
+            )
+        return runs[key]
+
+    predictions: list[CrossPrediction] = []
+    for target in target_names:
+        source_name = sources[target]
+        target_spec = specs[target]
+        source_spec = specs[source_name]
+        model = PerformanceModel(
+            transfer_tables(
+                tables[source_name], target_spec, source=source_spec
+            ),
+            spec=target_spec,
+        )
+        peak_ratio = source_spec.peak_gflops / target_spec.peak_gflops
+        for kernel_name in kernel_names:
+            target_run = run_on(kernel_name, target)
+            source_run = run_on(kernel_name, source_name)
+            report = model.analyze(
+                target_run.trace, target_run.launch, target_run.resources
+            )
+            predictions.append(
+                CrossPrediction(
+                    kernel=kernel_name,
+                    target=target,
+                    source=source_name,
+                    measured_seconds=target_run.measured.seconds,
+                    analytical_seconds=report.predicted_seconds,
+                    scaling_seconds=source_run.measured.seconds * peak_ratio,
+                    bottleneck=report.bottleneck,
+                )
+            )
+    return CrossValReport(baseline=BASELINE, predictions=tuple(predictions))

@@ -66,8 +66,17 @@ class PerformanceModel:
         trace: KernelTrace,
         launch: LaunchConfig,
         resources: KernelResources,
-        granularity: int = 32,
+        granularity: int | None = None,
     ) -> ModelInputs:
+        """Model inputs for a trace.
+
+        ``granularity=None`` uses the spec's minimum transaction
+        segment (32 B on the GT200 baseline), so registry specs with
+        coarser-only transactions are modelled at their own
+        granularity.
+        """
+        if granularity is None:
+            granularity = self.spec.memory.min_segment_bytes
         occupancy = compute_occupancy(self.spec, resources)
         return extract_inputs(
             trace, launch, occupancy, self.spec, granularity=granularity
@@ -78,7 +87,7 @@ class PerformanceModel:
         trace: KernelTrace,
         launch: LaunchConfig,
         resources: KernelResources,
-        granularity: int = 32,
+        granularity: int | None = None,
     ) -> PerformanceReport:
         """Full pipeline: extract inputs, then analyze them."""
         report = self.analyze_inputs(

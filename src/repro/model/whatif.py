@@ -5,6 +5,11 @@ removing a certain bottleneck in a quantitative way" before writing any
 code, and evaluate architectural improvements (hardware resource
 allocation, avoiding bank conflicts, block scheduling, and memory
 transaction granularity) against real workloads.
+
+Every predictor here varies *one* knob of the current architecture;
+swapping the whole architecture (predicting a kernel on a different
+registered generation) is the job of :mod:`repro.model.crossval`,
+which generalizes this machinery into a held-out validation harness.
 """
 
 from __future__ import annotations
@@ -33,15 +38,25 @@ class WhatIfResult:
 
     @property
     def speedup(self) -> float:
+        """Baseline over hypothetical time; raises on degenerate inputs."""
+        if self.baseline.predicted_seconds <= 0:
+            raise ModelError("baseline time is non-positive")
         if self.modified.predicted_seconds <= 0:
             raise ModelError("hypothetical time is non-positive")
         return self.baseline.predicted_seconds / self.modified.predicted_seconds
 
     def render(self) -> str:
+        """One-line summary; raises ModelError on degenerate predictions.
+
+        The speedup is evaluated before any text is assembled so a
+        degenerate result raises cleanly instead of emitting a
+        half-formatted line.
+        """
+        speedup = self.speedup
         return (
             f"{self.description}: {self.baseline.predicted_milliseconds:.4f} ms "
             f"-> {self.modified.predicted_milliseconds:.4f} ms "
-            f"({self.speedup:.2f}x, bottleneck {self.baseline.bottleneck} "
+            f"({speedup:.2f}x, bottleneck {self.baseline.bottleneck} "
             f"-> {self.modified.bottleneck})"
         )
 

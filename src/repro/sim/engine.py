@@ -85,7 +85,10 @@ from repro.sim.trace import (
 #: warps-per-block.
 #: v7: EngineStats carries a ``health`` degradation record
 #: (:class:`repro.pool.HealthRecord`), so cached stats gained a field.
-ENGINE_CACHE_VERSION = 7
+#: v8: coalescing takes its max-segment ceiling from the spec instead
+#: of a hardcoded 128 B, so traces of specs with other ceilings
+#: (registered architecture generations) changed.
+ENGINE_CACHE_VERSION = 8
 
 #: Taint bits.
 TAINT_BLOCK = 1  # value depends on the block coordinates (ctaid)

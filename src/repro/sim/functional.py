@@ -671,13 +671,19 @@ class FunctionalSimulator:
         """Memoized coalescing config for one granularity.
 
         Granularity 4 is the paper's "ideal" case: each distinct word
-        is its own transaction (Fig. 11a).
+        is its own transaction (Fig. 11a).  The segment ceiling comes
+        from the architecture spec (128 B on the GT200 baseline;
+        registered generations may transact cache lines only).
         """
         config = self._txn_configs.get(granularity)
         if config is None:
             config = self._txn_configs[granularity] = TransactionConfig(
                 min_segment=granularity,
-                max_segment=4 if granularity == 4 else 128,
+                max_segment=(
+                    4
+                    if granularity == 4
+                    else self.spec.memory.max_segment_bytes
+                ),
             )
         return config
 

@@ -1,0 +1,156 @@
+"""The architecture registry: lookup, validation, occupancy, rendering."""
+
+import pytest
+
+from repro.arch import compute_occupancy
+from repro.arch.occupancy import KernelResources
+from repro.arch.registry import (
+    BASELINE,
+    default_source_for,
+    describe,
+    entries,
+    get_entry,
+    get_spec,
+    register,
+    registered_name,
+    render_json,
+    render_markdown,
+    spec_names,
+)
+from repro.arch.specs import GTX285
+from repro.errors import SpecError
+from repro.util import spec_fingerprint
+
+
+class TestLookup:
+    def test_baseline_is_registered_first(self):
+        assert spec_names()[0] == BASELINE
+
+    def test_baseline_is_the_gtx285(self):
+        assert get_spec(BASELINE) is GTX285
+
+    def test_all_generations_present(self):
+        assert set(spec_names()) >= {
+            "gt200", "fermi-like", "kepler-like", "modern-wide",
+        }
+
+    def test_get_entry_round_trip(self):
+        for name in spec_names():
+            entry = get_entry(name)
+            assert entry.name == name
+            assert get_spec(name) is entry.spec
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(SpecError, match="gt200"):
+            get_entry("gtx-9999")
+
+    def test_entries_matches_names(self):
+        assert tuple(e.name for e in entries()) == spec_names()
+
+    def test_every_entry_has_provenance(self):
+        for entry in entries():
+            assert len(entry.provenance) > 20
+
+    def test_non_baseline_provenance_declares_synthetic(self):
+        for entry in entries():
+            if entry.name != BASELINE:
+                assert "ynthetic" in entry.provenance
+
+
+class TestFingerprints:
+    def test_fingerprint_matches_spec_fingerprint(self):
+        for entry in entries():
+            assert entry.fingerprint == spec_fingerprint(entry.spec)
+
+    def test_fingerprints_are_distinct(self):
+        fingerprints = [e.fingerprint for e in entries()]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_fingerprint_stable_across_calls(self):
+        for name in spec_names():
+            assert get_entry(name).fingerprint == get_entry(name).fingerprint
+
+    def test_registered_name_round_trip(self):
+        for entry in entries():
+            assert registered_name(entry.spec) == entry.name
+
+    def test_registered_name_unknown_spec(self):
+        assert registered_name(GTX285.with_sm(max_blocks=11)) is None
+
+
+class TestRegister:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SpecError, match="already registered"):
+            register(BASELINE, GTX285, "dup")
+
+    def test_non_slug_name_rejected(self):
+        with pytest.raises(SpecError, match="lowercase"):
+            register("Fermi Like", GTX285, "bad name")
+
+
+class TestHeldOutPairing:
+    def test_non_baseline_predicted_from_baseline(self):
+        for name in spec_names():
+            if name != BASELINE:
+                assert default_source_for(name) == BASELINE
+
+    def test_baseline_predicted_from_non_baseline(self):
+        source = default_source_for(BASELINE)
+        assert source != BASELINE
+        assert source in spec_names()
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(SpecError):
+            default_source_for("nope")
+
+
+class TestOccupancyAcrossGenerations:
+    """Every registered spec supports the zoo's launch shapes."""
+
+    RESOURCES = KernelResources(
+        threads_per_block=256,
+        registers_per_thread=16,
+        shared_memory_per_block=2048,
+    )
+
+    @pytest.mark.parametrize("name", spec_names())
+    def test_at_least_one_resident_block(self, name):
+        occupancy = compute_occupancy(get_spec(name), self.RESOURCES)
+        assert occupancy.blocks_per_sm >= 1
+
+    @pytest.mark.parametrize("name", spec_names())
+    def test_warps_within_spec_ceiling(self, name):
+        spec = get_spec(name)
+        occupancy = compute_occupancy(spec, self.RESOURCES)
+        assert occupancy.warps_per_sm <= spec.sm.max_warps
+
+    def test_wider_generations_hold_more_warps(self):
+        gt200 = compute_occupancy(get_spec("gt200"), self.RESOURCES)
+        kepler = compute_occupancy(get_spec("kepler-like"), self.RESOURCES)
+        assert kepler.warps_per_sm > gt200.warps_per_sm
+
+
+class TestRendering:
+    def test_describe_covers_all_fields(self):
+        payload = describe(get_entry("fermi-like"))
+        assert payload["sm"]["shared_memory_banks"] == 32
+        assert payload["memory"]["min_segment_bytes"] == 128
+        assert payload["derived"]["peak_gflops"] == pytest.approx(
+            get_spec("fermi-like").peak_gflops
+        )
+        assert payload["provenance"]
+        assert payload["fingerprint"] == get_entry("fermi-like").fingerprint
+
+    def test_render_json_deterministic(self):
+        assert render_json() == render_json()
+
+    def test_render_markdown_deterministic(self):
+        assert render_markdown() == render_markdown()
+
+    def test_markdown_mentions_every_spec(self):
+        text = render_markdown()
+        for name in spec_names():
+            assert f"`{name}`" in text
+
+    def test_markdown_warns_generated(self):
+        assert "Do not edit by hand" in render_markdown()

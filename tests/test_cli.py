@@ -214,8 +214,7 @@ class TestAnalyzeCommand:
         assert payload["errors"] == 0
         assert payload["kernels"]["scan"]["clean"]
 
-    def test_unknown_kernel_raises(self):
-        from repro.errors import ReproError
-
-        with pytest.raises(ReproError, match="unknown kernel"):
-            main(["analyze", "--kernel", "nope"])
+    def test_unknown_kernel_is_a_clean_error(self, capsys):
+        # Domain errors exit 2 with a message instead of a traceback.
+        assert main(["analyze", "--kernel", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err

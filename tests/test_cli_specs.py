@@ -1,0 +1,144 @@
+"""The ``repro specs`` command group and the generated docs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.arch.registry import render_markdown, spec_names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Cheap crossval arguments for CLI wiring tests.
+FAST = [
+    "--specs", "fermi-like",
+    "--kernel", "reduction",
+    "--warp-counts", "1", "2", "4", "8",
+    "--iterations", "20",
+    "--no-cache",
+]
+
+
+class TestParser:
+    def test_specs_list(self):
+        args = build_parser().parse_args(["specs", "list"])
+        assert args.command == "specs"
+        assert args.specs_command == "list"
+
+    def test_specs_show_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["specs", "show"])
+
+    def test_markdown_defaults_to_stdout(self):
+        args = build_parser().parse_args(["specs", "list", "--markdown"])
+        assert args.markdown == "-"
+
+    def test_crossval_flags(self):
+        args = build_parser().parse_args(["specs", "crossval", *FAST])
+        assert args.specs == ["fermi-like"]
+        assert args.kernels == ["reduction"]
+        assert args.warp_counts == [1, 2, 4, 8]
+        assert args.no_cache
+
+    def test_spec_flag_on_case_studies(self):
+        for name in ("info", "calibrate", "matmul", "tridiag", "spmv"):
+            args = build_parser().parse_args([name, "--spec", "kepler-like"])
+            assert args.spec == "kepler-like"
+
+
+class TestSpecsList:
+    def test_lists_every_registered_name(self, capsys):
+        assert main(["specs", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in spec_names():
+            assert name in out
+
+    def test_json_is_valid_and_complete(self, capsys):
+        assert main(["specs", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["specs"]) == set(spec_names())
+
+    def test_markdown_to_stdout(self, capsys):
+        assert main(["specs", "list", "--markdown"]) == 0
+        assert "# Architecture reference" in capsys.readouterr().out
+
+    def test_markdown_to_file(self, capsys, tmp_path):
+        target = tmp_path / "ARCHITECTURES.md"
+        assert main(["specs", "list", "--markdown", str(target)]) == 0
+        assert target.read_text() == render_markdown()
+
+
+class TestSpecsShow:
+    def test_text_output(self, capsys):
+        assert main(["specs", "show", "fermi-like"]) == 0
+        out = capsys.readouterr().out
+        assert "fermi-like" in out
+        assert "min_segment_bytes" in out
+
+    def test_json_output(self, capsys):
+        assert main(["specs", "show", "modern-wide", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "modern-wide"
+        assert payload["sm"]["max_warps"] == 64
+
+    def test_unknown_name_is_a_clean_error(self, capsys):
+        assert main(["specs", "show", "gtx-9999"]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
+class TestInfoSpec:
+    def test_info_renders_selected_spec(self, capsys):
+        assert main(["info", "--spec", "kepler-like"]) == 0
+        assert "Kepler-like" in capsys.readouterr().out
+
+    def test_info_defaults_to_baseline(self, capsys):
+        assert main(["info"]) == 0
+        assert "GTX 285" in capsys.readouterr().out
+
+    def test_unknown_spec_is_a_clean_error(self, capsys):
+        assert main(["info", "--spec", "nope"]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
+class TestCrossvalCommand:
+    @pytest.fixture(scope="class")
+    def outputs(self, tmp_path_factory):
+        """One CLI crossval run shared by the assertions below."""
+        tmp = tmp_path_factory.mktemp("crossval")
+        json_path = tmp / "BENCH_crossval.json"
+        markdown_path = tmp / "crossval.md"
+        code = main(
+            [
+                "specs", "crossval", *FAST,
+                "--json", str(json_path),
+                "--markdown", str(markdown_path),
+            ]
+        )
+        return code, json_path, markdown_path
+
+    def test_exit_code(self, outputs):
+        assert outputs[0] == 0
+
+    def test_json_artifact(self, outputs):
+        payload = json.loads(outputs[1].read_text())
+        assert payload["schema"] == "crossval/1"
+        assert payload["targets"] == {"fermi-like": {"source": "gt200"}}
+        (prediction,) = payload["predictions"]
+        assert prediction["kernel"] == "reduction"
+        assert prediction["analytical_error"] >= 0
+
+    def test_markdown_artifact(self, outputs):
+        assert "# Cross-GPU validation" in outputs[2].read_text()
+
+
+class TestDocsInSync:
+    def test_architectures_md_matches_registry(self):
+        """docs/ARCHITECTURES.md is generated -- regenerate on drift.
+
+        CI enforces this with `repro specs list --markdown` + git diff;
+        this test catches the drift locally first.
+        """
+        path = REPO_ROOT / "docs" / "ARCHITECTURES.md"
+        assert path.exists(), "run: python -m repro specs list --markdown docs/ARCHITECTURES.md"
+        assert path.read_text() == render_markdown()

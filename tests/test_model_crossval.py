@@ -1,0 +1,209 @@
+"""Cross-GPU validation: calibration transfer and the held-out harness."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.arch.registry import BASELINE, get_spec
+from repro.arch.specs import GTX285
+from repro.errors import ModelError, SpecError
+from repro.micro.calibration import CalibrationTables
+from repro.model.components import ZERO_TIMES
+from repro.model.crossval import (
+    CROSSVAL_SCHEMA,
+    CrossPrediction,
+    cross_validate,
+    transfer_tables,
+)
+from repro.model.report import PerformanceReport
+from repro.model.whatif import WhatIfResult
+from repro.sim.trace import TYPE_NAMES
+
+#: Reduced sweep: knee plus saturation, cheap enough for a test session.
+SWEEP = (1, 2, 4, 8, 16, 24, 32)
+
+
+class TestTransferTables:
+    def test_identity_transfer_keeps_curves(self, tables):
+        same = transfer_tables(tables, GTX285)
+        for name in TYPE_NAMES:
+            assert same.instruction.throughput[name] == pytest.approx(
+                tables.instruction.throughput[name]
+            )
+        assert same.shared.bandwidth == pytest.approx(
+            tables.shared.bandwidth
+        )
+
+    def test_core_clock_scales_instruction_and_shared(self, tables):
+        double = dataclasses.replace(GTX285, core_clock_ghz=2.96)
+        scaled = transfer_tables(tables, double)
+        for name in TYPE_NAMES:
+            assert scaled.instruction.throughput[name] == pytest.approx(
+                tuple(2 * v for v in tables.instruction.throughput[name])
+            )
+        assert scaled.shared.bandwidth == pytest.approx(
+            tuple(2 * v for v in tables.shared.bandwidth)
+        )
+
+    def test_memory_clock_scales_global_seconds(self, tables):
+        fast = dataclasses.replace(
+            GTX285,
+            memory=dataclasses.replace(
+                GTX285.memory, clock_ghz=GTX285.memory.clock_ghz * 2
+            ),
+        )
+        scaled = transfer_tables(tables, fast)
+        base = tables.global_benchmark(30, 256, 8)
+        moved = scaled.global_benchmark(30, 256, 8)
+        assert moved.seconds == pytest.approx(base.seconds / 2)
+        assert moved.transferred_bytes == base.transferred_bytes
+
+    def test_tables_without_gpu_need_explicit_source(self, tables):
+        detached = CalibrationTables(
+            instruction=tables.instruction, shared=tables.shared
+        )
+        with pytest.raises(ModelError, match="source spec"):
+            transfer_tables(detached, get_spec("fermi-like"))
+        moved = transfer_tables(
+            detached, get_spec("fermi-like"), source=GTX285
+        )
+        assert moved.shared.bandwidth[0] > 0
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One held-out run over three specs and two zoo kernels."""
+    return cross_validate(
+        targets=("fermi-like", "kepler-like", "gt200"),
+        kernels=("reduction", "scan"),
+        warp_counts=SWEEP,
+        iterations=25,
+        use_calibration_cache=False,
+    )
+
+
+class TestCrossValidate:
+    def test_covers_every_pair(self, report):
+        assert len(report.predictions) == 6
+        assert set(report.targets) == {"fermi-like", "kepler-like", "gt200"}
+        assert set(report.kernels) == {"reduction", "scan"}
+
+    def test_held_out_sources(self, report):
+        for p in report.predictions:
+            assert p.source != p.target
+            if p.target != BASELINE:
+                assert p.source == BASELINE
+
+    def test_times_are_positive(self, report):
+        for p in report.predictions:
+            assert p.measured_seconds > 0
+            assert p.analytical_seconds > 0
+            assert p.scaling_seconds > 0
+
+    def test_errors_are_finite(self, report):
+        for p in report.predictions:
+            assert p.analytical_error >= 0
+            assert p.scaling_error >= 0
+            assert p.analytical_error < 10
+            assert p.scaling_error < 10
+
+    def test_json_schema(self, report):
+        payload = report.to_dict()
+        assert payload["schema"] == CROSSVAL_SCHEMA
+        assert payload["baseline"] == BASELINE
+        assert payload["summary"]["overall"]["predictions"] == 6
+        assert set(payload["summary"]["by_spec"]) == set(report.targets)
+        assert set(payload["summary"]["by_kernel"]) == set(report.kernels)
+        for entry in payload["predictions"]:
+            assert entry["analytical_error"] >= 0
+            assert entry["bottleneck"] in ("instruction", "shared", "global")
+
+    def test_json_round_trips(self, report):
+        assert json.loads(report.to_json())["schema"] == CROSSVAL_SCHEMA
+
+    def test_renderers_cover_all_pairs(self, report):
+        text = report.render()
+        markdown = report.render_markdown()
+        for p in report.predictions:
+            assert p.target in text
+            assert f"`{p.target}`" in markdown
+        assert "overall" in text.lower()
+
+    def test_summary_aggregates_match_predictions(self, report):
+        overall = report.summary()
+        mean = sum(p.analytical_error for p in report.predictions) / 6
+        assert overall["analytical_mean_abs_rel_error"] == pytest.approx(mean)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_json(self):
+        kwargs = dict(
+            targets=("fermi-like",),
+            kernels=("reduction",),
+            warp_counts=(1, 2, 4, 8),
+            iterations=20,
+            use_calibration_cache=False,
+        )
+        assert (
+            cross_validate(**kwargs).to_json()
+            == cross_validate(**kwargs).to_json()
+        )
+
+
+class TestValidation:
+    def test_source_equal_to_target_rejected(self):
+        with pytest.raises(SpecError, match="held-out"):
+            cross_validate(targets=("gt200",), source="gt200")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SpecError, match="unknown architecture"):
+            cross_validate(targets=("gtx-9999",))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ModelError, match="unknown kernel"):
+            cross_validate(targets=("fermi-like",), kernels=("nope",))
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            cross_validate(targets=("gt200", "gt200"))
+
+
+def _report_with(seconds: float) -> PerformanceReport:
+    return PerformanceReport(
+        stages=(),
+        serialized=False,
+        component_totals=ZERO_TIMES,
+        predicted_seconds=seconds,
+        bottleneck="global",
+        inputs=None,
+        diagnostics=None,
+    )
+
+
+class TestWhatIfGuards:
+    """Regression: render() must raise before formatting any output."""
+
+    def test_speedup_rejects_non_positive_baseline(self):
+        result = WhatIfResult("x", _report_with(0.0), _report_with(1.0))
+        with pytest.raises(ModelError, match="baseline"):
+            result.speedup
+
+    def test_render_rejects_non_positive_baseline(self):
+        result = WhatIfResult("x", _report_with(0.0), _report_with(1.0))
+        with pytest.raises(ModelError, match="baseline"):
+            result.render()
+
+    def test_render_rejects_non_positive_hypothetical(self):
+        result = WhatIfResult("x", _report_with(1.0), _report_with(0.0))
+        with pytest.raises(ModelError, match="hypothetical"):
+            result.render()
+
+    def test_render_still_formats_valid_results(self):
+        result = WhatIfResult("knob", _report_with(2e-3), _report_with(1e-3))
+        assert "2.00x" in result.render()
+
+    def test_prediction_rejects_non_positive_measurement(self):
+        p = CrossPrediction("k", "a", "b", 0.0, 1.0, 1.0, "global")
+        with pytest.raises(ModelError, match="non-positive"):
+            p.analytical_error
