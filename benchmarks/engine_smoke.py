@@ -52,6 +52,13 @@ failures in its health counters.  ``--chaos`` runs only this gate
 (used by CI's chaos step, typically with ``$REPRO_FAULTS`` set so the
 pool layer also proves it honors environment-installed plans).
 
+A seventh gate covers *observability*: the smoke workload runs with
+span/metric recording off and on; traces (engine_stats normalized) and
+MeasuredRuns must be pickle-byte-identical either way, and the
+recording overhead is reported.  ``--obs DIR`` exports the recorded
+session -- CI uploads it as the ``obs-trace`` artifact and renders
+``repro obs report --markdown`` into the job summary.
+
 ``--check`` additionally writes every gate's measurements (instr/sec,
 speedups, cycle counts) to a machine-readable JSON file (default
 ``BENCH_engine_smoke.json``, ``--json PATH`` to relocate) that CI
@@ -495,6 +502,77 @@ def run_chaos() -> dict:
     }
 
 
+def run_obs(obs_dir: Path | None = None) -> dict:
+    """Observability gate: instrumentation must be invisible in results.
+
+    Runs the smoke workload twice -- observability off, then on with a
+    live recorder -- and demands that (1) the engine traces are
+    pickle-byte-identical after normalizing ``engine_stats`` (whose
+    wall-clock legitimately differs) and (2) the timing layer's
+    MeasuredRuns are byte-identical outright.  The measured overhead of
+    recording is reported alongside (informational: the <2 % budget in
+    DESIGN.md is for *disabled* hooks, which every other gate in this
+    file exercises).  ``obs_dir`` exports the recorded session for the
+    CI artifact.
+    """
+    from dataclasses import replace
+
+    from repro import obs
+
+    kernel = build_matmul_kernel(N, TILE)
+    launch = prepare_problem(N, TILE).launch()
+    resident = 4
+
+    def engine_trace():
+        return SimulationEngine(
+            kernel,
+            gmem=prepare_problem(N, TILE).gmem,
+            trace_mode="interpret",
+        ).run(launch)
+
+    off_start = time.perf_counter()
+    baseline = engine_trace()
+    off_seconds = time.perf_counter() - off_start
+    run_off = HardwareGpu().measure(
+        baseline.block_traces, launch.num_blocks, resident
+    )
+
+    recorder = obs.start()
+    try:
+        on_start = time.perf_counter()
+        observed = engine_trace()
+        on_seconds = time.perf_counter() - on_start
+        run_on = HardwareGpu().measure(
+            observed.block_traces, launch.num_blocks, resident
+        )
+    finally:
+        obs.stop()
+    if obs_dir is not None:
+        obs.export_session(
+            recorder,
+            obs_dir,
+            argv=["engine_smoke", "--obs", str(obs_dir)],
+            command="engine_smoke",
+            exit_status=0,
+        )
+
+    def normalized(trace):
+        return pickle.dumps(replace(trace, engine_stats=None))
+
+    trace_identical = normalized(observed) == normalized(baseline)
+    run_identical = pickle.dumps(run_on) == pickle.dumps(run_off)
+    return {
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "overhead": on_seconds / off_seconds - 1.0,
+        "events": len(recorder.events),
+        "spans": sum(1 for e in recorder.events if e["type"] == "span"),
+        "trace_identical": trace_identical,
+        "run_identical": run_identical,
+        "identical": trace_identical and run_identical,
+    }
+
+
 def check_chaos(chaos: dict) -> int:
     """Evaluate the chaos gate; print the verdicts, return exit code."""
     print(
@@ -551,6 +629,14 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_engine_smoke.json"),
         help="where --check writes the machine-readable measurements",
     )
+    parser.add_argument(
+        "--obs",
+        type=Path,
+        default=None,
+        help="export the obs gate's recorded session (events.jsonl, "
+        "trace.json, metrics.json, manifest.json) to this directory "
+        "(the CI obs-trace artifact)",
+    )
     args = parser.parse_args(argv)
 
     if args.chaos:
@@ -568,6 +654,7 @@ def main(argv: list[str] | None = None) -> int:
     barrier = run_barrier()
     symbolic = run_symbolic()
     chaos = run_chaos()
+    obs_gate = run_obs(args.obs)
     if args.check:
         # Record the trajectory *before* evaluating any gate, so a
         # failing run still uploads the measurements that explain it.
@@ -580,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
                 "barrier": barrier,
                 "symbolic": symbolic,
                 "chaos": chaos,
+                "obs": obs_gate,
             },
         )
         print(f"perf trajectory written: {args.json}")
@@ -714,6 +802,20 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if check_chaos(chaos):
+        return 1
+
+    print(
+        f"obs: recording off {obs_gate['off_seconds']:.2f} s, "
+        f"on {obs_gate['on_seconds']:.2f} s "
+        f"({obs_gate['overhead'] * 100:+.1f}%, {obs_gate['spans']} spans, "
+        f"{obs_gate['events']} events)"
+        + (f"; session exported to {args.obs}" if args.obs else "")
+    )
+    if not obs_gate["trace_identical"]:
+        print("FAIL: engine trace differs with observability recording on")
+        return 1
+    if not obs_gate["run_identical"]:
+        print("FAIL: measured run differs with observability recording on")
         return 1
 
     if args.update:

@@ -32,8 +32,10 @@ architecture generation instead of the GT200 baseline.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.obs import log as obs_log
 from repro.sim.trace import TYPE_NAMES
 
 
@@ -77,7 +79,9 @@ def _cmd_calibrate(args) -> int:
     from repro.micro import calibrate
 
     spec = _resolve_spec(args)
-    print(f"running microbenchmarks on {spec.name} ...", file=sys.stderr)
+    obs_log.info(
+        f"running microbenchmarks on {spec.name} ...", spec=spec.name
+    )
     tables = calibrate(HardwareGpu(spec=spec), iterations=args.iterations)
     tables.save(args.output)
     print(f"calibration saved to {args.output}")
@@ -110,20 +114,31 @@ def _make_model(args):
     )
     if args.calibration:
         tables = CalibrationTables.load(args.calibration, gpu=gpu)
+        provenance = "file"
     elif getattr(args, "no_cache", False):
-        print("calibrating (cache disabled) ...", file=sys.stderr)
+        obs_log.info("calibrating (cache disabled) ...")
         tables = calibrate(gpu)
+        provenance = "cold"
     else:
         path = default_calibration_path(spec)
-        tables = load_or_calibrate(
-            gpu,
-            path=path,
-            on_calibrate=lambda: print(
+        ran = []
+
+        def on_calibrate() -> None:
+            ran.append(True)
+            obs_log.info(
                 f"calibrating (tables will be cached at {path}) ...",
-                file=sys.stderr,
-            ),
+                path=str(path),
+            )
+
+        tables = load_or_calibrate(
+            gpu, path=path, on_calibrate=on_calibrate
         )
-    return gpu, PerformanceModel(tables, spec=spec)
+        provenance = "cold" if ran else "hit"
+    model = PerformanceModel(tables, spec=spec)
+    # Stamped for the report's cache-provenance line (apps.common reads
+    # it back when assembling PerformanceReport.cache_provenance).
+    model.calibration_provenance = provenance
+    return gpu, model
 
 
 def _engine_kwargs(args) -> dict:
@@ -154,10 +169,10 @@ def _ensure_tuned(args) -> None:
     ensure_profile(
         spec=_resolve_spec(args),
         dry_run=getattr(args, "no_cache", False),
-        on_tune=lambda: print(
+        on_tune=lambda: obs_log.info(
             "measuring engine tuning parameters (profile will be "
             f"cached at {default_tune_dir()}) ...",
-            file=sys.stderr,
+            directory=str(default_tune_dir()),
         ),
     )
 
@@ -193,6 +208,7 @@ def _run_as_json(run, **extra) -> str:
             "from_cache": run.measured.from_cache,
             "health": dataclasses.asdict(run.measured.health),
         },
+        "cache_provenance": run.report.cache_provenance,
     }
     payload.update(extra)
     return json.dumps(payload, indent=2, sort_keys=True)
@@ -275,7 +291,7 @@ def _cmd_tune(args) -> int:
 def _cmd_tune_run(args) -> int:
     from repro.tune import autotune, default_tune_dir, save_profile
 
-    print("measuring engine tuning parameters ...", file=sys.stderr)
+    obs_log.info("measuring engine tuning parameters ...")
     profile = autotune(
         workers_counts=tuple(args.workers_counts),
         slab_repeats=args.repeats,
@@ -374,6 +390,34 @@ def _cmd_tune_trend(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    return _OBS_COMMANDS[args.obs_command](args)
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs.report import (
+        ObsReportError,
+        build_report,
+        render_markdown,
+        render_text,
+    )
+
+    try:
+        report = build_report(args.directory, top_spans=args.top)
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.markdown:
+        print(render_markdown(report))
+    else:
+        print(render_text(report))
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis.report import (
         BUILTIN_KERNELS,
@@ -465,7 +509,7 @@ def _cmd_specs_crossval(args) -> int:
         use_calibration_cache=not args.no_cache,
         workers=args.workers,
         trace_cache=trace_cache,
-        progress=lambda message: print(message, file=sys.stderr),
+        progress=obs_log.info,
     )
     emitted = False
     if args.json is not None:
@@ -483,6 +527,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Quantitative GPU performance analysis (HPCA 2011 reproduction)",
+    )
+    parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        help="record structured traces/metrics/manifest for this run "
+        "into DIR (also honored via $REPRO_OBS); inspect with "
+        "`repro obs report DIR`",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr log threshold (also honored via $REPRO_LOG; "
+        "default: info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -634,6 +691,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when any gate regressed (default: warn only)",
     )
 
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability runs: summarize traces recorded with --obs",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="summarize one recorded run (top spans, cache hit rates, "
+        "degradation events)",
+    )
+    obs_report.add_argument(
+        "directory", help="directory a previous `--obs DIR` run wrote"
+    )
+    report_group = obs_report.add_mutually_exclusive_group()
+    report_group.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    report_group.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the report as markdown (CI job summaries)",
+    )
+    obs_report.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="number of spans in the self-time ranking",
+    )
+
     analyze = sub.add_parser(
         "analyze",
         help="static kernel checker: races, OOB, divergent barriers",
@@ -766,6 +854,11 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "analyze": _cmd_analyze,
     "specs": _cmd_specs,
+    "obs": _cmd_obs,
+}
+
+_OBS_COMMANDS = {
+    "report": _cmd_obs_report,
 }
 
 _SPECS_COMMANDS = {
@@ -785,13 +878,42 @@ def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        obs_log.set_level(args.log_level)
+    # `obs report` reads a recorded directory; recording *it* would
+    # clobber the very run it is summarizing, so it never records.
+    obs_dir = args.obs or os.environ.get("REPRO_OBS") or None
+    if args.command == "obs":
+        obs_dir = None
+
+    def dispatch() -> int:
+        try:
+            return _COMMANDS[args.command](args)
+        except ReproError as exc:
+            # Domain errors (unknown spec/kernel names, malformed
+            # calibration files, ...) are user errors, not crashes.
+            obs_log.error(f"error: {exc}")
+            return 2
+
+    if obs_dir is None:
+        return dispatch()
+
+    from repro import obs
+
+    recorder = obs.start()
+    status: int | None = None
     try:
-        return _COMMANDS[args.command](args)
-    except ReproError as exc:
-        # Domain errors (unknown spec/kernel names, malformed
-        # calibration files, ...) are user errors, not crashes.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        status = dispatch()
+        return status
+    finally:
+        obs.stop()
+        obs.export_session(
+            recorder,
+            obs_dir,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            command=args.command,
+            exit_status=1 if status is None else status,
+        )
 
 
 if __name__ == "__main__":

@@ -60,6 +60,40 @@ def kernel_resources(kernel: Kernel, launch: LaunchConfig) -> KernelResources:
     )
 
 
+def _cache_provenance(
+    engine_used: bool,
+    trace_cache: str | None,
+    trace: KernelTrace,
+    gpu: HardwareGpu | None,
+    measured: MeasuredRun | None,
+    model: PerformanceModel | None,
+) -> dict:
+    """How each cache answered this run: ``hit``/``cold``/``off``.
+
+    ``calibration`` only appears when the model carries provenance
+    (:mod:`repro.__main__` stamps ``calibration_provenance`` when it
+    builds the model around :func:`repro.micro.load_or_calibrate`).
+    """
+    provenance: dict = {}
+    stats = getattr(trace, "engine_stats", None)
+    if engine_used and trace_cache is not None:
+        hit = bool(getattr(stats, "cache_hit", False))
+        provenance["trace"] = "hit" if hit else "cold"
+    else:
+        provenance["trace"] = "off"
+    if measured is not None:
+        if gpu is not None and gpu.cache is not None:
+            provenance["measured"] = (
+                "hit" if measured.from_cache else "cold"
+            )
+        else:
+            provenance["measured"] = "off"
+    calibration = getattr(model, "calibration_provenance", None)
+    if calibration is not None:
+        provenance["calibration"] = calibration
+    return provenance
+
+
 def execute(
     name: str,
     kernel: Kernel,
@@ -93,44 +127,74 @@ def execute(
     the spec's minimum transaction segment, so the performance model
     always finds statistics at the granularity it analyzes.
     """
+    from repro import obs
+    from repro.util import spec_fingerprint
+
     gran = spec.memory.min_segment_bytes
     if gran not in launch.granularities:
         launch = dataclasses.replace(
             launch, granularities=tuple(launch.granularities) + (gran,)
         )
-    if engine:
-        sim_engine = SimulationEngine(
-            kernel,
-            gmem=gmem,
-            spec=spec,
-            workers=workers,
-            cache_dir=trace_cache,
-            task_timeout=task_timeout,
-        )
-        trace = sim_engine.run(launch, blocks=sample_blocks)
-    else:
-        simulator = FunctionalSimulator(kernel, gmem=gmem, spec=spec)
-        trace = simulator.run(launch, blocks=sample_blocks)
-    resources = kernel_resources(kernel, launch)
-    occupancy = compute_occupancy(spec, resources)
+    span = obs.span(
+        "app.execute",
+        app=name,
+        kernel=kernel.name,
+        spec=getattr(spec, "name", None),
+        workers=workers,
+    )
+    with span:
+        if obs.enabled():
+            obs.annotate(**{
+                f"spec.{getattr(spec, 'name', 'unnamed')}":
+                    spec_fingerprint(spec)
+            })
+        if engine:
+            sim_engine = SimulationEngine(
+                kernel,
+                gmem=gmem,
+                spec=spec,
+                workers=workers,
+                cache_dir=trace_cache,
+                task_timeout=task_timeout,
+            )
+            trace = sim_engine.run(launch, blocks=sample_blocks)
+        else:
+            simulator = FunctionalSimulator(kernel, gmem=gmem, spec=spec)
+            trace = simulator.run(launch, blocks=sample_blocks)
+        resources = kernel_resources(kernel, launch)
+        occupancy = compute_occupancy(spec, resources)
 
-    report = None
-    if model is not None:
-        report = model.analyze(trace, launch, resources)
+        report = None
+        if model is not None:
+            report = model.analyze(trace, launch, resources)
 
-    measured = None
-    if measure:
-        # The default timing simulator shares the engine's pool width;
-        # callers wanting the measured-run cache pass their own gpu.
-        gpu = gpu or HardwareGpu(
-            spec=spec, workers=workers, task_timeout=task_timeout
-        )
-        measured = gpu.measure(
-            trace.block_traces if len(trace.block_traces) > 1
-            else trace.block_traces[0],
-            num_blocks=launch.num_blocks,
-            resident_per_sm=occupancy.blocks_per_sm,
-            use_cache=use_cache,
+        measured = None
+        if measure:
+            # The default timing simulator shares the engine's pool
+            # width; callers wanting the measured-run cache pass their
+            # own gpu.
+            gpu = gpu or HardwareGpu(
+                spec=spec, workers=workers, task_timeout=task_timeout
+            )
+            measured = gpu.measure(
+                trace.block_traces if len(trace.block_traces) > 1
+                else trace.block_traces[0],
+                num_blocks=launch.num_blocks,
+                resident_per_sm=occupancy.blocks_per_sm,
+                use_cache=use_cache,
+            )
+
+    if report is not None:
+        report = dataclasses.replace(
+            report,
+            cache_provenance=_cache_provenance(
+                engine_used=engine,
+                trace_cache=trace_cache,
+                trace=trace,
+                gpu=gpu if measure else None,
+                measured=measured,
+                model=model,
+            ),
         )
 
     return AppRun(

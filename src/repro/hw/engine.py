@@ -80,18 +80,23 @@ def simulate_clusters(
     the affected jobs -- still bit-identical -- with the counters
     recorded in ``health`` (see :mod:`repro.pool`).
     """
-    return map_tasks(
-        jobs,
-        workers,
-        serial_fn=lambda job: simulate_cluster(
-            spec, config, use_cache, job[0], job[1]
-        ),
-        worker_fn=_run_cluster_task,
-        initializer=_init_worker,
-        initargs=(spec, config, use_cache),
-        task_timeout=task_timeout,
-        health=health,
-    )
+    from repro import obs
+
+    with obs.span(
+        "hw.simulate_clusters", jobs=len(jobs), workers=workers
+    ):
+        return map_tasks(
+            jobs,
+            workers,
+            serial_fn=lambda job: simulate_cluster(
+                spec, config, use_cache, job[0], job[1]
+            ),
+            worker_fn=_run_cluster_task,
+            initializer=_init_worker,
+            initargs=(spec, config, use_cache),
+            task_timeout=task_timeout,
+            health=health,
+        )
 
 
 # stream_digest now lives in repro.sim.trace (next to BlockTrace, which

@@ -156,12 +156,48 @@ class HardwareGpu:
         chosen cluster (the pre-dedup behaviour, kept for differential
         benchmarks).
         """
+        from repro import obs
+
         if num_blocks <= 0:
             raise HardwareModelError("num_blocks must be positive")
         if isinstance(traces, BlockTrace):
             traces = [traces]
         if not traces:
             raise HardwareModelError("at least one block trace is required")
+        with obs.span(
+            "hw.measure",
+            blocks=num_blocks,
+            traces=len(traces),
+            resident_per_sm=resident_per_sm,
+        ):
+            run = self._measure(
+                traces,
+                num_blocks,
+                resident_per_sm,
+                use_cache,
+                wave_extrapolation,
+                sim_clusters,
+                dedup,
+            )
+        if obs.enabled():
+            obs.metrics.inc("hw.measures")
+            obs.metrics.inc("hw.blocks", num_blocks)
+            obs.metrics.inc("hw.events", run.events)
+            obs.metrics.inc("hw.cluster_sims", run.cluster_sims)
+            obs.metrics.inc("hw.signature_hits", run.signature_hits)
+            obs.metrics.absorb_health("hw", run.health)
+        return run
+
+    def _measure(
+        self,
+        traces: list[BlockTrace],
+        num_blocks: int,
+        resident_per_sm: int,
+        use_cache: bool,
+        wave_extrapolation: bool,
+        sim_clusters: list[int] | None,
+        dedup: bool,
+    ) -> MeasuredRun:
         works = [t.warp_streams for t in traces]
         homogeneous = len(works) == 1
 

@@ -111,15 +111,27 @@ def load_or_calibrate(
     fingerprint = spec_fingerprint(gpu.spec)
     sweep = _sweep_key(warp_counts, iterations)
 
+    from repro import obs
+
     if not force:
         tables = _try_load(target, gpu, fingerprint, sweep)
         if tables is not None:
+            obs.metrics.inc("cache.calibration.hits")
             return tables
+    obs.metrics.inc("cache.calibration.misses")
 
     if on_calibrate is not None:
         on_calibrate()
-    tables = calibrate(gpu, warp_counts=warp_counts, iterations=iterations)
+    with obs.span(
+        "micro.calibrate",
+        spec=getattr(gpu.spec, "name", None),
+        iterations=iterations,
+    ):
+        tables = calibrate(
+            gpu, warp_counts=warp_counts, iterations=iterations
+        )
     save_calibration(tables, target, fingerprint, sweep)
+    obs.metrics.inc("cache.calibration.stores")
     return tables
 
 

@@ -465,6 +465,8 @@ def cross_validate(
             )
         return runs[key]
 
+    from repro import obs
+
     predictions: list[CrossPrediction] = []
     for target in target_names:
         source_name = sources[target]
@@ -478,11 +480,20 @@ def cross_validate(
         )
         peak_ratio = source_spec.peak_gflops / target_spec.peak_gflops
         for kernel_name in kernel_names:
-            target_run = run_on(kernel_name, target)
-            source_run = run_on(kernel_name, source_name)
-            report = model.analyze(
-                target_run.trace, target_run.launch, target_run.resources
-            )
+            with obs.span(
+                "crossval.predict",
+                kernel=kernel_name,
+                target=target,
+                source=source_name,
+            ):
+                target_run = run_on(kernel_name, target)
+                source_run = run_on(kernel_name, source_name)
+                report = model.analyze(
+                    target_run.trace,
+                    target_run.launch,
+                    target_run.resources,
+                )
+            obs.metrics.inc("crossval.predictions")
             predictions.append(
                 CrossPrediction(
                     kernel=kernel_name,

@@ -50,6 +50,12 @@ class PerformanceReport:
     simulation engine (:mod:`repro.sim.engine`): how many blocks were
     actually simulated vs replicated, and whether the on-disk trace
     cache hit -- so the engine's speedups are observable in reports.
+
+    ``cache_provenance`` maps each cache a run consulted (``trace``,
+    ``measured``, ``calibration``) to how it answered: ``"hit"`` when
+    the artifact was replayed from disk, ``"cold"`` when it was
+    computed this run, ``"off"`` when that cache was not configured.
+    Absent (``None``) when the caller did not assemble provenance.
     """
 
     stages: tuple[StageAnalysis, ...]
@@ -60,6 +66,7 @@ class PerformanceReport:
     inputs: ModelInputs
     diagnostics: Diagnostics
     engine_stats: object | None = None
+    cache_provenance: dict | None = None
 
     @property
     def predicted_milliseconds(self) -> float:
@@ -95,6 +102,12 @@ class PerformanceReport:
             health = getattr(self.engine_stats, "health", None)
             if health is not None and health.degraded:
                 lines.append(f"degraded             : {health.summary()}")
+        if self.cache_provenance:
+            rendered = " | ".join(
+                f"{kind} {state}"
+                for kind, state in sorted(self.cache_provenance.items())
+            )
+            lines.append(f"caches               : {rendered}")
         if self.diagnostics.causes:
             lines.append("causes:")
             lines.extend(f"  - {cause}" for cause in self.diagnostics.causes)

@@ -1,0 +1,68 @@
+"""Module-level metric helpers delegating to the active recorder.
+
+The registry itself lives on the :class:`~repro.obs.core.Recorder` (so
+worker-side increments travel home with the pool envelopes instead of
+dying with the worker process); these functions are the cheap call
+sites the instrumented layers use:
+
+* :func:`inc` -- monotonic counters (``cache.trace.hits``,
+  ``engine.classes.proved``, ``pool.timeouts``, ...);
+* :func:`gauge` -- last-write-wins values (``engine.workers``);
+* :func:`observe` -- histograms tracking count/total/min/max
+  (``functional.slab_width``, ``engine.wall_seconds``).
+
+Every helper is a no-op costing one module-global check while
+observability is disabled.  :func:`absorb_health` folds a frozen
+:class:`~repro.pool.HealthRecord` (or any counter dataclass) into the
+registry under a prefix -- how the scattered ``EngineStats``/
+``HealthRecord`` counters surface in one place without changing their
+public dataclass APIs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.obs import core
+
+
+def inc(name: str, value: float = 1) -> None:
+    recorder = core.current()
+    if recorder is not None:
+        recorder.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    recorder = core.current()
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    recorder = core.current()
+    if recorder is not None:
+        recorder.observe(name, value)
+
+
+def snapshot() -> dict:
+    """The active recorder's metrics (empty sections when disabled)."""
+    recorder = core.current()
+    if recorder is None:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    return recorder.metrics_snapshot()
+
+
+def absorb_health(prefix: str, record) -> None:
+    """Fold a counter dataclass's nonzero fields into the registry.
+
+    ``absorb_health("engine", stats.health)`` yields counters like
+    ``engine.health.timeouts``; all-zero records add nothing, so a
+    healthy run's registry stays free of health noise.
+    """
+    recorder = core.current()
+    if recorder is None or record is None:
+        return
+    for field in dataclasses.fields(record):
+        value = getattr(record, field.name)
+        if isinstance(value, (int, float)) and value:
+            recorder.inc(f"{prefix}.health.{field.name}", value)

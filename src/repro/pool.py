@@ -223,17 +223,47 @@ atexit.register(cleanup_segments)
 # ----------------------------------------------------------------------
 # the pooled map
 # ----------------------------------------------------------------------
-def _call_task(worker_fn, index, task, attempt, plan):
+class _SpanEnvelope:
+    """Worker capture shipped home beside one task's result.
+
+    The pool strips the envelope at harvest, so callers receive exactly
+    the object ``worker_fn`` returned -- observability on or off never
+    changes a result's pickled bytes, only adds this out-of-band
+    sidecar.
+    """
+
+    __slots__ = ("result", "events", "counters", "gauges", "histograms")
+
+    def __init__(self, result, recorder) -> None:
+        self.result = result
+        self.events = recorder.events
+        self.counters = recorder.counters
+        self.gauges = recorder.gauges
+        self.histograms = recorder.histograms
+
+
+def _call_task(worker_fn, index, task, attempt, plan, obs_lane=None):
     """Module-level (picklable) task wrapper run inside workers.
 
     Consults the fault-injection plan first: the plan is shipped
     explicitly so spawn workers honor plans installed programmatically
     in the parent (fork workers would inherit the global anyway).
+    ``obs_lane`` (set only when the parent records) installs a fresh
+    per-task recorder -- replacing any recorder a fork worker inherited,
+    whose events would otherwise die with the worker -- and wraps the
+    result in a :class:`_SpanEnvelope` for the parent to adopt.
     """
     from repro import faults
 
     faults.on_pool_task(index, attempt, plan)
-    return worker_fn(task)
+    if obs_lane is None:
+        return worker_fn(task)
+    from repro import obs
+
+    with obs.capture(obs_lane) as recorder:
+        with recorder.span("pool.task", index=index, attempt=attempt):
+            result = worker_fn(task)
+    return _SpanEnvelope(result, recorder)
 
 
 def default_task_timeout() -> float | None:
@@ -324,8 +354,17 @@ def map_tasks(
     health.tasks += len(tasks)
     if not tasks:
         return []
+    from repro import obs
+
+    recorder = obs.current()
+    if recorder is not None:
+        recorder.inc("pool.tasks", len(tasks))
     if workers <= 1 or len(tasks) == 1:
-        return [serial_fn(task) for task in tasks]
+        with obs.span(
+            "pool.map_tasks", tasks=len(tasks), workers=workers,
+            mode="serial",
+        ):
+            return [serial_fn(task) for task in tasks]
     if task_timeout is None:
         task_timeout = default_task_timeout()
 
@@ -344,6 +383,47 @@ def map_tasks(
     pending = list(range(len(tasks)))
     executor = None
 
+    # Worker-side span capture: one deterministic lane per pool call
+    # (``pool<n>.t<index>``), shipped only when the parent records.
+    # Counter deltas against ``health`` are folded into the metric
+    # registry at the end, so shared PoolHealth objects (the engine
+    # accumulates one across _simulate calls) are not double-counted.
+    lane_prefix = (
+        recorder.next_pool_lane() if recorder is not None else None
+    )
+    health_before = (
+        {f.name: getattr(health, f.name) for f in fields(health)}
+        if recorder is not None
+        else None
+    )
+    pool_span = obs.span(
+        "pool.map_tasks",
+        tasks=len(tasks),
+        workers=processes,
+        mode="pool",
+        lane=lane_prefix,
+    )
+    pool_span.__enter__()
+
+    def harvest(value):
+        """Strip a worker envelope, adopting its capture exactly once.
+
+        Every path that stores a pooled future's result goes through
+        here; lost attempts never produce an envelope and serial
+        re-runs record straight into the parent recorder, so no span
+        can land twice.
+        """
+        if isinstance(value, _SpanEnvelope):
+            if recorder is not None:
+                recorder.adopt(
+                    value.events,
+                    value.counters,
+                    value.gauges,
+                    value.histograms,
+                )
+            return value.result
+        return value
+
     def run_serial(index: int) -> None:
         results[index] = serial_fn(tasks[index])
         health.serial_fallbacks += 1
@@ -359,7 +439,13 @@ def map_tasks(
                 )
             futures = {
                 i: executor.submit(
-                    _call_task, worker_fn, i, tasks[i], attempts[i], plan
+                    _call_task,
+                    worker_fn,
+                    i,
+                    tasks[i],
+                    attempts[i],
+                    plan,
+                    f"{lane_prefix}.t{i}" if lane_prefix else None,
                 )
                 for i in pending
             }
@@ -368,7 +454,9 @@ def map_tasks(
             crashed = False
             for i in pending:
                 try:
-                    results[i] = futures[i].result(timeout=task_timeout)
+                    results[i] = harvest(
+                        futures[i].result(timeout=task_timeout)
+                    )
                     completed.add(i)
                 except FutureTimeout:
                     timed_out = i
@@ -400,7 +488,7 @@ def map_tasks(
                 future = futures[i]
                 if future.done() and not future.cancelled():
                     try:
-                        results[i] = future.result(timeout=0)
+                        results[i] = harvest(future.result(timeout=0))
                         completed.add(i)
                     except Exception:
                         pass  # lost with the pool; handled below
@@ -447,5 +535,11 @@ def map_tasks(
     finally:
         if executor is not None:
             _stop_executor(executor, kill=False)
+        pool_span.__exit__(None, None, None)
 
+    if recorder is not None and health_before is not None:
+        for name, previous in health_before.items():
+            delta = getattr(health, name) - previous
+            if delta and name != "tasks":
+                recorder.inc(f"pool.{name}", delta)
     return [results[i] for i in range(len(tasks))]

@@ -697,6 +697,7 @@ class SimulationEngine:
         from contextlib import nullcontext
 
         from repro import faults as faults_mod
+        from repro import obs
 
         context = (
             faults_mod.injected(self.faults_plan)
@@ -704,7 +705,42 @@ class SimulationEngine:
             else nullcontext()
         )
         with context:
-            return self._run(launch, blocks, dedup)
+            with obs.span(
+                "engine.run",
+                kernel=self.kernel.name,
+                spec=getattr(self.spec, "name", None),
+                workers=self.workers,
+                dedup=dedup,
+            ):
+                trace = self._run(launch, blocks, dedup)
+            self._absorb_stats(trace.engine_stats)
+            return trace
+
+    def _absorb_stats(self, stats) -> None:
+        """Fold this run's EngineStats into the obs metric registry.
+
+        Spans and metrics travel out-of-band: nothing here touches the
+        trace payload, so instrumented runs stay byte-identical.
+        """
+        from repro import obs
+        from repro.obs import metrics
+
+        if not obs.enabled() or not isinstance(stats, EngineStats):
+            return
+        metrics.inc("engine.runs")
+        metrics.inc("engine.blocks.total", stats.total_blocks)
+        metrics.inc("engine.blocks.simulated", stats.simulated_blocks)
+        metrics.inc("engine.blocks.replicated", stats.replicated_blocks)
+        metrics.inc("engine.classes.proved", stats.proved_classes)
+        metrics.inc(
+            "engine.classes.synthesized", stats.synthesized_classes
+        )
+        metrics.inc(
+            "engine.classes.interpreted", stats.interpreted_classes
+        )
+        metrics.inc("engine.probe_fallbacks", stats.probe_fallbacks)
+        metrics.observe("engine.wall_seconds", stats.wall_seconds)
+        metrics.absorb_health("engine", stats.health)
 
     def _run(
         self,
@@ -832,6 +868,8 @@ class SimulationEngine:
     def _run_dedup(
         self, launch: LaunchConfig, started: float
     ) -> tuple[KernelTrace, EngineStats]:
+        from repro import obs
+
         classes = partition_blocks(launch, self.dependence)
 
         # Phase 0: static soundness proof.  A proved class is exact by
@@ -843,13 +881,14 @@ class SimulationEngine:
             # module for the taint pass and the block partitioner.
             from repro.analysis.dedup_proof import prove_block_class
 
-            for index, cls in enumerate(classes):
-                if not cls.verifiers:
-                    continue
-                if prove_block_class(
-                    self.kernel, launch, cls.members, self.gmem
-                ):
-                    proved.add(index)
+            with obs.span("engine.proof", classes=len(classes)):
+                for index, cls in enumerate(classes):
+                    if not cls.verifiers:
+                        continue
+                    if prove_block_class(
+                        self.kernel, launch, cls.members, self.gmem
+                    ):
+                        proved.add(index)
         # Multi-member classes the proof did not certify fall back to
         # probe simulation (all of them, under dedup_verify="probe").
         self._proof_fallbacks = sum(
@@ -873,21 +912,22 @@ class SimulationEngine:
                 synthesis_coverage,
             )
 
-            if synthesis_coverage(
-                self.kernel, launch, dependence=self.dependence
-            ):
-                synthesizer = TraceSynthesizer(
-                    self.kernel,
-                    self.gmem,
-                    spec=self.spec,
-                    max_warp_instructions=self.max_warp_instructions,
-                )
-                for index, cls in enumerate(classes):
-                    if cls.verifiers and index not in proved:
-                        continue
-                    synthesized[index] = synthesizer.synthesize(
-                        launch, cls.representative
+            with obs.span("engine.synthesis", classes=len(classes)):
+                if synthesis_coverage(
+                    self.kernel, launch, dependence=self.dependence
+                ):
+                    synthesizer = TraceSynthesizer(
+                        self.kernel,
+                        self.gmem,
+                        spec=self.spec,
+                        max_warp_instructions=self.max_warp_instructions,
                     )
+                    for index, cls in enumerate(classes):
+                        if cls.verifiers and index not in proved:
+                            continue
+                        synthesized[index] = synthesizer.synthesize(
+                            launch, cls.representative
+                        )
             self._symbolic_fallbacks = len(classes) - len(synthesized)
 
         # Phase 1: representatives plus the verification members of
@@ -933,28 +973,29 @@ class SimulationEngine:
         # between the prover and the simulator: hard error.
         fallback_blocks: list[tuple[int, int]] = []
         demoted: set[int] = set()
-        for index, cls in enumerate(classes):
-            if not cls.verifiers:
-                continue
-            if index in proved and self.dedup_verify != "both":
-                continue
-            rep_key = probe_traces[cls.representative].stats_key()
-            if any(
-                probe_traces[v].stats_key() != rep_key
-                for v in cls.verifiers
-            ):
-                if index in proved:
-                    raise AnalysisError(
-                        f"dedup proof certified class {cls.members[0]}.."
-                        f"{cls.members[-1]} of kernel "
-                        f"{self.kernel.name!r}, but probe simulations "
-                        "disagree with the representative; prover or "
-                        "simulator bug"
+        with obs.span("engine.verify", probes=len(probe_blocks)):
+            for index, cls in enumerate(classes):
+                if not cls.verifiers:
+                    continue
+                if index in proved and self.dedup_verify != "both":
+                    continue
+                rep_key = probe_traces[cls.representative].stats_key()
+                if any(
+                    probe_traces[v].stats_key() != rep_key
+                    for v in cls.verifiers
+                ):
+                    if index in proved:
+                        raise AnalysisError(
+                            f"dedup proof certified class "
+                            f"{cls.members[0]}..{cls.members[-1]} of "
+                            f"kernel {self.kernel.name!r}, but probe "
+                            "simulations disagree with the "
+                            "representative; prover or simulator bug"
+                        )
+                    demoted.add(index)
+                    fallback_blocks.extend(
+                        b for b in cls.members if b not in probe_traces
                     )
-                demoted.add(index)
-                fallback_blocks.extend(
-                    b for b in cls.members if b not in probe_traces
-                )
         fallback_traces = dict(
             zip(fallback_blocks, self._simulate(launch, fallback_blocks))
         )
@@ -966,37 +1007,42 @@ class SimulationEngine:
         # Phase 3: exact aggregation with per-class multiplicities, and
         # a per-block trace table so the timing simulator sees the right
         # stream at every block index.
-        entries: list[tuple[BlockTrace, int]] = []
-        trace_for: dict[tuple[int, int], BlockTrace] = {}
-        for index, cls in enumerate(classes):
-            if index not in demoted:
-                # Verifier traces equal the representative's, so one
-                # entry with the full multiplicity is exact.  A
-                # synthesized trace is byte-identical to the interpreted
-                # one, so either serves.
-                rep_trace = synthesized.get(index)
-                if rep_trace is None:
-                    rep_trace = simulated_traces[cls.representative]
-                entries.append((rep_trace, len(cls.members)))
-                for member in cls.members:
-                    trace_for[member] = rep_trace
-            else:
-                for member in cls.members:
-                    member_trace = simulated_traces[member]
-                    entries.append((member_trace, 1))
-                    trace_for[member] = member_trace
+        with obs.span(
+            "engine.aggregate",
+            classes=len(classes),
+            demoted=len(demoted),
+        ):
+            entries: list[tuple[BlockTrace, int]] = []
+            trace_for: dict[tuple[int, int], BlockTrace] = {}
+            for index, cls in enumerate(classes):
+                if index not in demoted:
+                    # Verifier traces equal the representative's, so
+                    # one entry with the full multiplicity is exact.  A
+                    # synthesized trace is byte-identical to the
+                    # interpreted one, so either serves.
+                    rep_trace = synthesized.get(index)
+                    if rep_trace is None:
+                        rep_trace = simulated_traces[cls.representative]
+                    entries.append((rep_trace, len(cls.members)))
+                    for member in cls.members:
+                        trace_for[member] = rep_trace
+                else:
+                    for member in cls.members:
+                        member_trace = simulated_traces[member]
+                        entries.append((member_trace, 1))
+                        trace_for[member] = member_trace
 
-        trace = aggregate_weighted(
-            [t for t, _ in entries], [m for _, m in entries]
-        )
-        if len(entries) == 1:
-            # Homogeneous grid: a single representative lets the timing
-            # simulator use its fast wave-extrapolation path.
-            trace.block_traces = [entries[0][0]]
-        else:
-            trace.block_traces = [
-                trace_for[b] for b in launch.all_blocks()
-            ]
+            trace = aggregate_weighted(
+                [t for t, _ in entries], [m for _, m in entries]
+            )
+            if len(entries) == 1:
+                # Homogeneous grid: a single representative lets the
+                # timing simulator use its fast wave-extrapolation path.
+                trace.block_traces = [entries[0][0]]
+            else:
+                trace.block_traces = [
+                    trace_for[b] for b in launch.all_blocks()
+                ]
         stats = self._stats(
             launch,
             len(simulated_traces),
@@ -1011,6 +1057,16 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------
     def _simulate(
+        self, launch: LaunchConfig, blocks: list[tuple[int, int]]
+    ) -> list[BlockTrace]:
+        from repro import obs
+
+        with obs.span(
+            "engine.simulate", blocks=len(blocks), workers=self.workers
+        ):
+            return self._simulate_blocks(launch, blocks)
+
+    def _simulate_blocks(
         self, launch: LaunchConfig, blocks: list[tuple[int, int]]
     ) -> list[BlockTrace]:
         """Simulate blocks, preserving order; parallel when configured.
@@ -1112,15 +1168,25 @@ class SimulationEngine:
             f"{describe(storer, store_span)}"
             for loader, load_span, storer, store_span in conflicts[:3]
         )
-        warnings.warn(
+        message = (
             f"kernel {self.kernel.name!r}: cross-block global "
             f"read-after-write detected ({len(conflicts)} overlapping "
             f"block(s)): {shown}. Blocks of one launch cannot "
             "synchronize, so these statistics are schedule-dependent "
-            "(see DESIGN.md 'Parallelism knobs').",
-            RuntimeWarning,
-            stacklevel=4,
+            "(see DESIGN.md 'Parallelism knobs')."
         )
+        # ``warnings.warn`` keeps owning the user-facing rendering (and
+        # its once-per-location dedup); the structured record lands in
+        # the event log every time, unfiltered.
+        from repro.obs import log as obs_log
+
+        obs_log.warning(
+            message,
+            render=False,
+            kernel=self.kernel.name,
+            conflicts=len(conflicts),
+        )
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
 
     # ------------------------------------------------------------------
     def _cache_key(

@@ -723,27 +723,35 @@ class FunctionalSimulator:
         release their barriers independently) cheap.  The per-warp
         oracle runs block by block.
         """
+        from repro import obs
+
         self._check_launch(launch)
         if not (self.batched and len(blocks) > 1):
             return [self.run_block(launch, block) for block in blocks]
         traces: list[BlockTrace] = []
         step = max(1, int(self.grid_batch_blocks_for(launch)))
-        for start in range(0, len(blocks), step):
-            chunk = blocks[start : start + step]
-            if len(chunk) == 1:
-                traces.append(self.run_block(launch, chunk[0]))
-                continue
-            for block in chunk:
-                bx, by = block
-                gx, gy = launch.grid
-                if not (0 <= bx < gx and 0 <= by < gy):
-                    raise LaunchError(
-                        f"block {block} outside grid {launch.grid}"
-                    )
-            run = _GridRun(self.kernel, launch, chunk)
-            interpreter = _BatchedInterpreter(self, run)
-            interpreter.execute()
-            traces.extend(run.finish(interpreter.streams))
+        with obs.span(
+            "functional.run_blocks", blocks=len(blocks), slab=step
+        ):
+            if obs.enabled():
+                obs.metrics.observe("functional.slab_width", step)
+                obs.metrics.inc("functional.blocks", len(blocks))
+            for start in range(0, len(blocks), step):
+                chunk = blocks[start : start + step]
+                if len(chunk) == 1:
+                    traces.append(self.run_block(launch, chunk[0]))
+                    continue
+                for block in chunk:
+                    bx, by = block
+                    gx, gy = launch.grid
+                    if not (0 <= bx < gx and 0 <= by < gy):
+                        raise LaunchError(
+                            f"block {block} outside grid {launch.grid}"
+                        )
+                run = _GridRun(self.kernel, launch, chunk)
+                interpreter = _BatchedInterpreter(self, run)
+                interpreter.execute()
+                traces.extend(run.finish(interpreter.streams))
         return traces
 
     def run_block(

@@ -23,6 +23,11 @@ from dataclasses import dataclass
 #: Accepted payload schema prefix (see engine_smoke.write_perf_json).
 SCHEMA_PREFIX = "engine_smoke/"
 
+#: Crossval artifacts (``repro specs crossval --json``) are ingested
+#: into the same report, so one trajectory covers engine-smoke gates
+#: AND cross-GPU prediction accuracy.
+CROSSVAL_SCHEMA_PREFIX = "crossval/"
+
 #: Report schema stamp.
 REPORT_SCHEMA = "tune_trend/1"
 
@@ -51,6 +56,24 @@ IDENTITY_FLAGS: tuple[str, ...] = (
     "barrier.cyclic_reduction.identical",
 )
 
+#: Crossval gate metrics: (report gate name, payload path under
+#: ``summary.overall``, higher_is_better).  Gate names carry a
+#: ``crossval.`` prefix so the two artifact families never collide.
+CROSSVAL_METRICS: tuple[tuple[str, str, bool], ...] = (
+    (
+        "crossval.analytical_mean_abs_rel_error",
+        "summary.overall.analytical_mean_abs_rel_error",
+        False,
+    ),
+    (
+        "crossval.scaling_mean_abs_rel_error",
+        "summary.overall.scaling_mean_abs_rel_error",
+        False,
+    ),
+    ("crossval.analytical_wins", "summary.overall.analytical_wins", True),
+    ("crossval.predictions", "summary.overall.predictions", True),
+)
+
 
 @dataclass(frozen=True)
 class TrendEntry:
@@ -60,6 +83,7 @@ class TrendEntry:
     timestamp: str
     values: dict  # metric path -> float
     identical: bool  # every gate's bit-identity flag held
+    kind: str = "engine_smoke"  # artifact family: engine_smoke|crossval
 
 
 def _dig(payload: dict, path: str):
@@ -108,7 +132,11 @@ def load_entry(path: str) -> TrendEntry | None:
     if not isinstance(payload, dict):
         return None
     schema = payload.get("schema", "")
-    if not isinstance(schema, str) or not schema.startswith(SCHEMA_PREFIX):
+    if not isinstance(schema, str):
+        return None
+    if schema.startswith(CROSSVAL_SCHEMA_PREFIX):
+        return _load_crossval_entry(path, payload)
+    if not schema.startswith(SCHEMA_PREFIX):
         return None
     values: dict = {}
     for metric, _ in GATE_METRICS:
@@ -121,6 +149,27 @@ def load_entry(path: str) -> TrendEntry | None:
         timestamp=str(payload.get("timestamp", "")),
         values=values,
         identical=identical,
+    )
+
+
+def _load_crossval_entry(path: str, payload: dict) -> TrendEntry:
+    """A ``BENCH_crossval.json`` artifact as a trend entry.
+
+    Crossval payloads carry no bit-identity flags, so ``identical``
+    holds vacuously (the pseudo-gate is driven by engine_smoke runs
+    only -- see :func:`build_report`).
+    """
+    values: dict = {}
+    for metric, source_path, _ in CROSSVAL_METRICS:
+        value = _dig(payload, source_path)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values[metric] = float(value)
+    return TrendEntry(
+        label=os.path.basename(path),
+        timestamp=str(payload.get("timestamp", "")),
+        values=values,
+        identical=True,
+        kind="crossval",
     )
 
 
@@ -143,11 +192,28 @@ def build_report(
     regression flag when that change exceeds ``threshold`` in the bad
     direction.  A latest run with any failed bit-identity flag is
     reported as the pseudo-gate ``bit_identity``.
+
+    Mixed inputs keep their families apart: each gate's series spans
+    only the entries of its own artifact kind (an engine_smoke run
+    never reads as a missing crossval measurement and vice versa), and
+    the ``crossval.*`` gates appear only when at least one crossval
+    artifact was ingested -- engine-only reports are unchanged.
     """
+    engine_entries = [e for e in entries if e.kind == "engine_smoke"]
+    crossval_entries = [e for e in entries if e.kind == "crossval"]
+    metrics: list[tuple[str, bool, list[TrendEntry]]] = [
+        (metric, better, engine_entries)
+        for metric, better in GATE_METRICS
+    ]
+    if crossval_entries:
+        metrics.extend(
+            (metric, better, crossval_entries)
+            for metric, _, better in CROSSVAL_METRICS
+        )
     gates: dict = {}
     regressions: list[str] = []
-    for metric, higher_is_better in GATE_METRICS:
-        series = [entry.values.get(metric) for entry in entries]
+    for metric, higher_is_better, kind_entries in metrics:
+        series = [entry.values.get(metric) for entry in kind_entries]
         present = [v for v in series if v is not None]
         first = present[0] if present else None
         # "latest" is strictly the NEWEST run's value: a gate that
@@ -173,14 +239,17 @@ def build_report(
             "higher_is_better": higher_is_better,
             "regressed": regressed,
         }
-    identity_ok = entries[-1].identical if entries else True
+    identity_ok = (
+        engine_entries[-1].identical if engine_entries else True
+    )
     if not identity_ok:
         regressions.append("bit_identity")
     return {
         "schema": REPORT_SCHEMA,
         "threshold": threshold,
         "runs": [
-            {"label": e.label, "timestamp": e.timestamp} for e in entries
+            {"label": e.label, "timestamp": e.timestamp, "kind": e.kind}
+            for e in entries
         ],
         "gates": gates,
         "latest_bit_identity_ok": identity_ok,
@@ -214,8 +283,7 @@ def render_markdown(report: dict) -> str:
     lines.append("")
     lines.append("| gate | first | previous | latest | delta vs prev | status |")
     lines.append("|---|---:|---:|---:|---:|---|")
-    for metric, _ in GATE_METRICS:
-        gate = report["gates"][metric]
+    for metric, gate in report["gates"].items():
         status = "**REGRESSION**" if gate["regressed"] else "ok"
         if gate["latest"] is None:
             status = "missing"

@@ -111,6 +111,15 @@ class VersionedPickleCache:
         self.suffix = suffix
         self.quarantines = 0
         self.write_errors = 0
+        # Metric namespace, derived from the suffix: ".trace.pkl" ->
+        # "cache.trace.*", ".run.pkl" -> "cache.run.*", and so on.
+        parts = suffix.strip(".").split(".")
+        self.kind = parts[0] if parts and parts[0] else "pickle"
+
+    def _metric(self, name: str, value: float = 1) -> None:
+        from repro.obs import metrics
+
+        metrics.inc(f"cache.{self.kind}.{name}", value)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}{self.suffix}")
@@ -128,6 +137,7 @@ class VersionedPickleCache:
         try:
             os.replace(path, f"{path}.corrupt")
             self.quarantines += 1
+            self._metric("quarantines")
         except OSError:
             pass
 
@@ -146,25 +156,31 @@ class VersionedPickleCache:
             with open(path, "rb") as handle:
                 data = handle.read()
         except OSError:
+            self._metric("misses")
             return None
         data = faults.on_cache_read(data)
         try:
             payload = pickle.loads(data)
         except Exception:
             self._quarantine(path)
+            self._metric("misses")
             return None
         if not isinstance(payload, dict):
             self._quarantine(path)
+            self._metric("misses")
             return None
         if payload.get("version") != self.version:
+            self._metric("misses")
             return None
         value = payload.get("value")
         if value is None:
+            self._metric("misses")
             return None
         try:
             os.utime(path)  # refresh mtime: LRU recency, not just age
         except OSError:
             pass
+        self._metric("hits")
         return value
 
     def store_payload(self, key: str, value) -> None:
@@ -175,9 +191,13 @@ class VersionedPickleCache:
         if atomic_write_bytes(
             path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         ):
-            evict_lru(self.directory, keep=(path,))
+            self._metric("stores")
+            evicted = evict_lru(self.directory, keep=(path,))
+            if evicted:
+                self._metric("evictions", evicted)
         else:
             self.write_errors += 1
+            self._metric("write_errors")
 
 
 def cache_max_bytes() -> int:

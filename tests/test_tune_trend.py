@@ -237,3 +237,108 @@ class TestCli:
         report, markdown = trend_report([artifact])
         assert len(report["runs"]) == 1
         assert report["gates"]["engine.speedup"]["latest"] is not None
+
+
+def _crossval_payload(
+    analytical=0.12,
+    scaling=0.35,
+    wins=20,
+    predictions=24,
+    timestamp="2026-07-01T00:00:00Z",
+):
+    return {
+        "schema": "crossval/1",
+        "timestamp": timestamp,
+        "summary": {
+            "overall": {
+                "predictions": predictions,
+                "analytical_mean_abs_rel_error": analytical,
+                "scaling_mean_abs_rel_error": scaling,
+                "analytical_wins": wins,
+            }
+        },
+    }
+
+
+class TestCrossvalIngestion:
+    def test_crossval_artifact_becomes_entry(self, tmp_path):
+        path = tmp_path / "BENCH_crossval.json"
+        path.write_text(json.dumps(_crossval_payload()))
+        (entry,) = load_entries([path])
+        assert entry.kind == "crossval"
+        assert entry.values[
+            "crossval.analytical_mean_abs_rel_error"
+        ] == 0.12
+        assert entry.identical  # vacuous: no identity flags to fail
+
+    def test_mixed_families_keep_series_apart(self, tmp_path):
+        (tmp_path / "a_engine.json").write_text(
+            json.dumps(_payload(timestamp="2026-07-01T00:00:00Z"))
+        )
+        (tmp_path / "b_crossval.json").write_text(
+            json.dumps(
+                _crossval_payload(timestamp="2026-07-01T12:00:00Z")
+            )
+        )
+        (tmp_path / "c_engine.json").write_text(
+            json.dumps(_payload(timestamp="2026-07-02T00:00:00Z"))
+        )
+        report = build_report(load_entries([tmp_path]))
+        # Engine gates span only the two engine runs; the crossval run
+        # in between never reads as a missing engine measurement.
+        assert len(report["gates"]["engine.speedup"]["series"]) == 2
+        assert len(
+            report["gates"]["crossval.predictions"]["series"]
+        ) == 1
+        kinds = [run["kind"] for run in report["runs"]]
+        assert kinds == ["engine_smoke", "crossval", "engine_smoke"]
+
+    def test_crossval_error_regression_is_flagged(self, tmp_path):
+        (tmp_path / "old.json").write_text(
+            json.dumps(
+                _crossval_payload(
+                    analytical=0.10, timestamp="2026-07-01T00:00:00Z"
+                )
+            )
+        )
+        (tmp_path / "new.json").write_text(
+            json.dumps(
+                _crossval_payload(
+                    analytical=0.20, timestamp="2026-07-02T00:00:00Z"
+                )
+            )
+        )
+        report = build_report(load_entries([tmp_path]))
+        # Error doubled: lower-is-better, so this is a regression.
+        assert (
+            "crossval.analytical_mean_abs_rel_error"
+            in report["regressions"]
+        )
+        _, markdown = trend_report([tmp_path])
+        assert "crossval.analytical_mean_abs_rel_error" in markdown
+
+    def test_engine_only_reports_omit_crossval_gates(self, tmp_path):
+        (tmp_path / "only.json").write_text(json.dumps(_payload()))
+        report = build_report(load_entries([tmp_path]))
+        assert not any(
+            gate.startswith("crossval.") for gate in report["gates"]
+        )
+
+    def test_real_crossval_cli_artifact_round_trips(self, tmp_path):
+        from repro.__main__ import main
+
+        artifact = tmp_path / "BENCH_crossval.json"
+        code = main(
+            [
+                "specs", "crossval",
+                "--specs", "fermi-like",
+                "--kernel", "reduction",
+                "--warp-counts", "1", "2", "4", "8",
+                "--iterations", "20",
+                "--no-cache",
+                "--json", str(artifact),
+            ]
+        )
+        assert code == 0
+        report, _ = trend_report([artifact])
+        assert report["gates"]["crossval.predictions"]["latest"] >= 1
